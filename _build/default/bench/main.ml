@@ -1,0 +1,79 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md's per-experiment index).
+
+   Default mode runs all experiments and prints paper-shaped tables of
+   simulated-time results. `--exp <id>` runs one. `--quick` shrinks sweeps.
+
+   `--bechamel` instead wraps each experiment in a Bechamel Test.make and
+   reports wall-clock monotonic time per experiment run — useful for
+   tracking the simulator's own performance. *)
+
+let usage () =
+  print_endline
+    "usage: main.exe [--exp T1|T2|F1|..|F6] [--quick] [--bechamel] [--list]";
+  exit 1
+
+(* One Bechamel Test.make per table/figure; measures wall-clock time of a
+   quick run of each experiment (i.e. the simulator's own speed). *)
+let bechamel_mode () =
+  let open Bechamel in
+  let open Toolkit in
+  let test_of (e : Experiments.Registry.t) =
+    Test.make ~name:e.Experiments.Registry.id
+      (Staged.stage (fun () ->
+           ignore (e.Experiments.Registry.run ~quick:true ())))
+  in
+  let tests =
+    Test.make_grouped ~name:"experiments"
+      (List.map test_of Experiments.Registry.all)
+  in
+  let instances = [ Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:5 ~quota:(Time.second 10.0) ~kde:None () in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results =
+    Analyze.merge ols instances
+      (List.map (fun instance -> Analyze.all ols instance raw) instances)
+  in
+  Hashtbl.iter
+    (fun label per_test ->
+      Printf.printf "measure: %s\n" label;
+      let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) per_test [] in
+      List.iter
+        (fun (name, o) ->
+          match Analyze.OLS.estimates o with
+          | Some [ est ] -> Printf.printf "  %-24s %12.0f ns/run\n" name est
+          | _ -> Printf.printf "  %-24s (no estimate)\n" name)
+        (List.sort compare rows))
+    results
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "--quick" args in
+  let bech = List.mem "--bechamel" args in
+  if List.mem "--list" args then begin
+    List.iter
+      (fun (e : Experiments.Registry.t) ->
+        Printf.printf "%-4s %s\n" e.Experiments.Registry.id
+          e.Experiments.Registry.title)
+      Experiments.Registry.all;
+    exit 0
+  end;
+  if bech then bechamel_mode ()
+  else begin
+    let rec exp_arg = function
+      | "--exp" :: id :: _ -> Some id
+      | _ :: rest -> exp_arg rest
+      | [] -> None
+    in
+    match exp_arg args with
+    | None -> Experiments.Registry.run_all ~quick ()
+    | Some id -> (
+        match Experiments.Registry.find id with
+        | Some e -> Experiments.Registry.run_one ~quick e
+        | None ->
+            Printf.eprintf "unknown experiment id: %s\n" id;
+            usage ())
+  end

@@ -1,0 +1,124 @@
+(* popcornsim — command-line driver for the replicated-kernel OS simulator.
+
+   Subcommands:
+     list               show the reproduction experiments
+     run <id> [--quick] run one experiment (T1, T2, F1..F6)
+     all [--quick]      run every experiment
+     demo [...]         boot a cluster and run a demonstration workload *)
+
+open Cmdliner
+
+let quick =
+  let doc = "Shrink parameter sweeps for a fast run." in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+(* --- list --- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (e : Experiments.Registry.t) ->
+        Printf.printf "%-4s %s\n" e.Experiments.Registry.id
+          e.Experiments.Registry.title)
+      Experiments.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the reproduction experiments.")
+    Term.(const run $ const ())
+
+(* --- run --- *)
+
+let run_cmd =
+  let id =
+    let doc = "Experiment id (T1, T2, F1..F6)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
+  in
+  let run id quick =
+    match Experiments.Registry.find id with
+    | Some e ->
+        Experiments.Registry.run_one ~quick e;
+        `Ok ()
+    | None -> `Error (false, "unknown experiment id: " ^ id)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run one experiment and print its tables.")
+    Term.(ret (const run $ id $ quick))
+
+(* --- all --- *)
+
+let all_cmd =
+  let run quick = Experiments.Registry.run_all ~quick () in
+  Cmd.v (Cmd.info "all" ~doc:"Run every experiment.")
+    Term.(const run $ quick)
+
+(* --- demo --- *)
+
+let demo_cmd =
+  let kernels =
+    let doc = "Number of kernels to boot." in
+    Arg.(value & opt int 4 & info [ "kernels" ] ~doc)
+  in
+  let threads =
+    let doc = "Worker threads to span across the kernels." in
+    Arg.(value & opt int 8 & info [ "threads" ] ~doc)
+  in
+  let trace_flag =
+    let doc = "Dump the protocol-event timeline after the run." in
+    Arg.(value & flag & info [ "trace" ] ~doc)
+  in
+  let run kernels threads trace =
+    if kernels < 1 || 16 mod kernels <> 0 then
+      `Error (false, "kernels must divide 16")
+    else begin
+      let machine = Hw.Machine.create ~sockets:2 ~cores_per_socket:8 () in
+      let cluster =
+        Popcorn.Cluster.boot machine ~kernels ~cores_per_kernel:(16 / kernels)
+      in
+      let tracer =
+        if trace then Some (Popcorn.Cluster.enable_tracing cluster) else None
+      in
+      let eng = machine.Hw.Machine.eng in
+      Sim.Engine.spawn eng (fun () ->
+          let proc =
+            Popcorn.Api.start_process cluster ~origin:0 (fun th ->
+                let latch = Workloads.Latch.create eng threads in
+                for i = 0 to threads - 1 do
+                  ignore
+                    (Popcorn.Api.spawn th ~target:(i mod kernels)
+                       (fun worker ->
+                         Popcorn.Api.compute worker (Sim.Time.us 200);
+                         ignore
+                           (Popcorn.Api.migrate worker
+                              ~dst:((i + 1) mod kernels));
+                         Popcorn.Api.compute worker (Sim.Time.us 200);
+                         Workloads.Latch.arrive latch))
+                done;
+                Workloads.Latch.wait latch)
+          in
+          Popcorn.Api.wait_exit cluster proc);
+      Sim.Engine.run eng;
+      (match tracer with
+      | Some tr ->
+          print_endline "protocol timeline:";
+          Format.printf "%a@?" Sim.Trace.pp tr
+      | None -> ());
+      let st = Msg.Transport.stats cluster.Popcorn.Types.fabric in
+      Printf.printf
+        "demo: %d threads over %d kernels; simulated time %s; %d messages \
+         (%d doorbells); %d events\n"
+        threads kernels
+        (Sim.Time.to_string (Sim.Engine.now eng))
+        st.Msg.Transport.sent st.Msg.Transport.doorbells
+        (Sim.Engine.events_processed eng);
+      `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "demo"
+       ~doc:"Boot a cluster, span threads across kernels, migrate them.")
+    Term.(ret (const run $ kernels $ threads $ trace_flag))
+
+let () =
+  let info =
+    Cmd.info "popcornsim" ~version:"1.0.0"
+      ~doc:"Replicated-kernel OS simulator (Popcorn Linux reproduction)."
+  in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; all_cmd; demo_cmd ]))

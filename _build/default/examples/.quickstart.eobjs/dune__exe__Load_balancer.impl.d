@@ -1,0 +1,1 @@
+examples/load_balancer.ml: Api Array Cluster Hw Kernelmodel List Popcorn Printf Sim Stats Types Workloads

@@ -1,0 +1,1 @@
+examples/matrix_compute.ml: Api Cluster Hw Kernelmodel List Msg Popcorn Printf Sim Types Workloads

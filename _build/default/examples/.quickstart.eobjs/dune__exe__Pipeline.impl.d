@@ -1,0 +1,1 @@
+examples/pipeline.ml: Api Array Cluster Hw Kernelmodel Msg Popcorn Printf Sim Types Workloads

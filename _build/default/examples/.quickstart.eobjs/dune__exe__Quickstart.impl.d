@@ -1,0 +1,1 @@
+examples/quickstart.ml: Api Cluster Hw Kernelmodel Migration Msg Popcorn Printf Sim Types Workloads

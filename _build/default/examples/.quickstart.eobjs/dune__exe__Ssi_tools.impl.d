@@ -1,0 +1,1 @@
+examples/ssi_tools.ml: Api Balancer Cluster Hw Kernelmodel List Msg Popcorn Printf Sim Ssi Types

@@ -1,0 +1,1 @@
+examples/ssi_tools.mli:

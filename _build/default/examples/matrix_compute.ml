@@ -1,0 +1,109 @@
+(* An OpenMP-style parallel kernel (think NPB) on the replicated-kernel OS:
+   one process, N worker threads spanning all kernels, a shared input
+   matrix that gets read-replicated, and per-worker output tiles that stay
+   exclusively owned — demonstrating how the coherence protocol keeps
+   sharing cheap when the access pattern is disciplined.
+
+   Run with: dune exec examples/matrix_compute.exe *)
+
+open Popcorn
+module K = Kernelmodel
+
+let page = 4096
+let workers = 8
+let input_pages = 16
+let output_pages_per_worker = 4
+
+let run ~kernels =
+  let machine = Hw.Machine.create ~sockets:2 ~cores_per_socket:8 () in
+  let cluster = Cluster.boot machine ~kernels ~cores_per_kernel:(16 / kernels) in
+  let eng = machine.Hw.Machine.eng in
+  let elapsed = ref 0 in
+  Sim.Engine.spawn eng (fun () ->
+      let proc =
+        Api.start_process cluster ~origin:0 (fun th ->
+            let t0 = Sim.Engine.now eng in
+            (* The shared input: written once by the master... *)
+            let input =
+              match
+                Api.mmap th ~len:(input_pages * page) ~prot:K.Vma.prot_rw
+              with
+              | Ok v -> v.K.Vma.start
+              | Error e -> failwith e
+            in
+            for i = 0 to input_pages - 1 do
+              match Api.write th ~addr:(input + (i * page)) with
+              | Ok () -> ()
+              | Error e -> failwith e
+            done;
+            (* ...and an output region, one tile per worker. *)
+            let output =
+              match
+                Api.mmap th
+                  ~len:(workers * output_pages_per_worker * page)
+                  ~prot:K.Vma.prot_rw
+              with
+              | Ok v -> v.K.Vma.start
+              | Error e -> failwith e
+            in
+            let latch = Workloads.Latch.create eng workers in
+            for w = 0 to workers - 1 do
+              ignore
+                (Api.spawn th ~target:(w mod kernels) (fun worker ->
+                     (* Read the whole input (read-only replication: every
+                        kernel ends up with its own copy, no ping-pong). *)
+                     for i = 0 to input_pages - 1 do
+                       match Api.read worker ~addr:(input + (i * page)) with
+                       | Ok _ -> ()
+                       | Error e -> failwith e
+                     done;
+                     (* Compute, then write the private tile (exclusive
+                        ownership migrates once and stays). *)
+                     Api.compute worker (Sim.Time.us 400);
+                     let tile =
+                       output + (w * output_pages_per_worker * page)
+                     in
+                     for i = 0 to output_pages_per_worker - 1 do
+                       match Api.write worker ~addr:(tile + (i * page)) with
+                       | Ok () -> ()
+                       | Error e -> failwith e
+                     done;
+                     Workloads.Latch.arrive latch))
+            done;
+            Workloads.Latch.wait latch;
+            (* The master gathers the results: reads every tile back. *)
+            for i = 0 to (workers * output_pages_per_worker) - 1 do
+              match Api.read th ~addr:(output + (i * page)) with
+              | Ok v -> assert (v >= 1)
+              | Error e -> failwith e
+            done;
+            elapsed := Sim.Engine.now eng - t0)
+      in
+      Api.wait_exit cluster proc);
+  Sim.Engine.run eng;
+  let st = Msg.Transport.stats cluster.Types.fabric in
+  (!elapsed, st.Msg.Transport.sent)
+
+let () =
+  Printf.printf
+    "matrix kernel: %d workers, %d shared input pages, %d output pages\n\n"
+    workers input_pages
+    (workers * output_pages_per_worker);
+  Printf.printf "%-28s %12s %10s\n" "configuration" "elapsed" "messages";
+  List.iter
+    (fun kernels ->
+      let elapsed, msgs = run ~kernels in
+      Printf.printf "%-28s %12s %10d\n"
+        (Printf.sprintf "%d kernel(s) x %d cores" kernels (16 / kernels))
+        (Sim.Time.to_string elapsed)
+        msgs)
+    [ 1; 2; 4; 8 ];
+  print_newline ();
+  print_endline
+    "The same unmodified program runs on every configuration: one kernel";
+  print_endline
+    "needs no messages; spanning more kernels costs bounded replication";
+  print_endline
+    "traffic (read-only input replicates once per kernel, private tiles";
+  print_endline
+    "migrate once) while removing every shared kernel data structure."

@@ -1,0 +1,88 @@
+(* A three-stage software pipeline (parse -> transform -> emit) whose
+   stages live on different kernels and hand work over with distributed
+   futexes — the POSIX synchronisation path of the single-system image.
+
+   Each stage owns a mailbox page; stage N writes the page (ownership
+   migrates to it), wakes stage N+1's futex, and sleeps on its own. The
+   same binary would run unmodified on SMP Linux.
+
+   Run with: dune exec examples/pipeline.exe *)
+
+open Popcorn
+module K = Kernelmodel
+
+let page = 4096
+let items = 20
+
+let () =
+  let machine = Hw.Machine.create ~sockets:2 ~cores_per_socket:8 () in
+  let cluster = Cluster.boot machine ~kernels:4 ~cores_per_kernel:4 in
+  let eng = machine.Hw.Machine.eng in
+  let processed = Array.make 3 0 in
+  Sim.Engine.spawn eng (fun () ->
+      let proc =
+        Api.start_process cluster ~origin:0 (fun th ->
+            let mbox =
+              match Api.mmap th ~len:(4 * page) ~prot:K.Vma.prot_rw with
+              | Ok v -> v.K.Vma.start
+              | Error e -> failwith e
+            in
+            let slot i = mbox + (i * page) in
+            let wake_until t addr =
+              while Api.futex_wake t ~addr ~count:1 = 0 do
+                Api.compute t (Sim.Time.us 2)
+              done
+            in
+            let latch = Workloads.Latch.create eng 2 in
+            (* Stage 1 (transform) on kernel 1. *)
+            ignore
+              (Api.spawn th ~target:1 (fun t ->
+                   for _ = 1 to items do
+                     (match Api.futex_wait t ~addr:(slot 1) () with
+                     | Api.Woken -> ()
+                     | Api.Timed_out -> assert false);
+                     (match Api.write t ~addr:(slot 1) with
+                     | Ok () -> ()
+                     | Error e -> failwith e);
+                     Api.compute t (Sim.Time.us 30);
+                     processed.(1) <- processed.(1) + 1;
+                     wake_until t (slot 2)
+                   done;
+                   Workloads.Latch.arrive latch));
+            (* Stage 2 (emit) on kernel 3. *)
+            ignore
+              (Api.spawn th ~target:3 (fun t ->
+                   for _ = 1 to items do
+                     (match Api.futex_wait t ~addr:(slot 2) () with
+                     | Api.Woken -> ()
+                     | Api.Timed_out -> assert false);
+                     (match Api.read t ~addr:(slot 1) with
+                     | Ok _ -> ()
+                     | Error e -> failwith e);
+                     Api.compute t (Sim.Time.us 10);
+                     processed.(2) <- processed.(2) + 1
+                   done;
+                   Workloads.Latch.arrive latch));
+            (* Stage 0 (parse) right here on kernel 0. *)
+            for _ = 1 to items do
+              Api.compute th (Sim.Time.us 20);
+              (match Api.write th ~addr:(slot 0) with
+              | Ok () -> ()
+              | Error e -> failwith e);
+              processed.(0) <- processed.(0) + 1;
+              wake_until th (slot 1)
+            done;
+            Workloads.Latch.wait latch)
+      in
+      Api.wait_exit cluster proc);
+  Sim.Engine.run eng;
+  Printf.printf "pipeline finished at %s\n"
+    (Sim.Time.to_string (Sim.Engine.now eng));
+  Array.iteri
+    (fun i n -> Printf.printf "  stage %d (kernel %d): %d items\n" i
+        (match i with 0 -> 0 | 1 -> 1 | _ -> 3)
+        n)
+    processed;
+  let st = Msg.Transport.stats cluster.Types.fabric in
+  Printf.printf "inter-kernel messages: %d\n" st.Msg.Transport.sent;
+  assert (Array.for_all (fun n -> n = items) processed)

@@ -1,0 +1,80 @@
+(* Quickstart: boot a replicated-kernel OS on a simulated 16-core box,
+   create a process, span its thread group across kernels, migrate a
+   thread, and watch the address space stay coherent.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Popcorn
+module K = Kernelmodel
+
+let page = 4096
+
+let () =
+  (* A 2-socket, 16-core machine running 4 kernels of 4 cores each. *)
+  let machine = Hw.Machine.create ~sockets:2 ~cores_per_socket:8 () in
+  let cluster = Cluster.boot machine ~kernels:4 ~cores_per_kernel:4 in
+  let eng = machine.Hw.Machine.eng in
+  let say fmt =
+    Printf.ksprintf
+      (fun s -> Printf.printf "[%8s] %s\n" (Sim.Time.to_string (Sim.Engine.now eng)) s)
+      fmt
+  in
+  Sim.Engine.spawn eng (fun () ->
+      let proc =
+        Api.start_process cluster ~origin:0 (fun th ->
+            say "process %d started on kernel %d" (Api.pid th)
+              th.Api.task.K.Task.kernel;
+
+            (* Map memory and write to it — plain Linux-looking calls. *)
+            let vma =
+              match Api.mmap th ~len:(4 * page) ~prot:K.Vma.prot_rw with
+              | Ok v -> v
+              | Error e -> failwith e
+            in
+            say "mmap'd 4 pages at 0x%x" vma.K.Vma.start;
+            (match Api.write th ~addr:vma.K.Vma.start with
+            | Ok () -> say "wrote page 0 locally"
+            | Error e -> failwith e);
+
+            (* Spawn a sibling on another kernel: same process, same
+               address space, different kernel underneath. *)
+            let latch = Workloads.Latch.create eng 1 in
+            let _tid =
+              Api.spawn th ~target:2 (fun sibling ->
+                  say "sibling tid %d running on kernel %d" (Api.tid sibling)
+                    sibling.Api.task.K.Task.kernel;
+                  (match Api.read sibling ~addr:vma.K.Vma.start with
+                  | Ok v ->
+                      say "sibling reads page 0: sees version %d (coherent)" v
+                  | Error e -> failwith e);
+                  Workloads.Latch.arrive latch)
+            in
+            Workloads.Latch.wait latch;
+
+            (* Migrate this very thread to kernel 3 and keep going. *)
+            let b = Api.migrate th ~dst:3 in
+            say
+              "migrated to kernel %d in %s (save %s, messaging %s, import \
+               %s, sched-in %s)"
+              th.Api.task.K.Task.kernel
+              (Sim.Time.to_string b.Migration.total_ns)
+              (Sim.Time.to_string b.Migration.save_ctx_ns)
+              (Sim.Time.to_string b.Migration.messaging_ns)
+              (Sim.Time.to_string b.Migration.import_ns)
+              (Sim.Time.to_string b.Migration.schedule_in_ns);
+
+            (* Our pages follow us on demand. *)
+            (match Api.read th ~addr:vma.K.Vma.start with
+            | Ok v -> say "after migration, page 0 still readable (v%d)" v
+            | Error e -> failwith e);
+            Api.compute th (Sim.Time.us 50);
+            say "done computing on kernel %d" th.Api.task.K.Task.kernel)
+      in
+      Api.wait_exit cluster proc;
+      say "process exited; every kernel saw a single system image");
+  Sim.Engine.run eng;
+  let st = Msg.Transport.stats cluster.Types.fabric in
+  Printf.printf
+    "\nsimulated time: %s | inter-kernel messages: %d (doorbell IPIs: %d)\n"
+    (Sim.Time.to_string (Sim.Engine.now eng))
+    st.Msg.Transport.sent st.Msg.Transport.doorbells

@@ -1,0 +1,71 @@
+(* Single-system-image tooling: a "ps" and "kill" that work across kernels
+   exactly as they would on one Linux image, plus the kernel-level load
+   balancer spreading a skewed workload automatically.
+
+   Run with: dune exec examples/ssi_tools.exe *)
+
+open Popcorn
+module K = Kernelmodel
+
+let () =
+  let machine = Hw.Machine.create ~sockets:2 ~cores_per_socket:8 () in
+  let cluster = Cluster.boot machine ~kernels:4 ~cores_per_kernel:4 in
+  let eng = machine.Hw.Machine.eng in
+  let balancer = Balancer.start ~period:(Sim.Time.us 500) ~threshold:1 cluster in
+  Sim.Engine.spawn eng (fun () ->
+      let proc =
+        Api.start_process cluster ~origin:0 (fun th ->
+            (* Ten workers, all dumped on kernel 0; the balancer will
+               redistribute them. One of them is a runaway we'll kill. *)
+            let runaway = ref 0 in
+            for i = 1 to 10 do
+              let tid =
+                Api.spawn th ~target:0 (fun child ->
+                    let slices = if i = 1 then max_int else 50 in
+                    (try
+                       for _ = 1 to slices do
+                         Api.compute child (Sim.Time.us 100)
+                       done
+                     with Api.Killed -> ()))
+              in
+              if i = 1 then runaway := tid
+            done;
+            Api.compute th (Sim.Time.ms 2);
+
+            (* ps: one listing covering every kernel. *)
+            let tasks = Api.global_tasks th in
+            Printf.printf "global ps at %s: %d threads\n"
+              (Sim.Time.to_string (Sim.Engine.now eng))
+              (List.length tasks);
+            List.iter
+              (fun (tid, pid) ->
+                let where =
+                  match Ssi.locate_thread th.Api.cluster ~tid with
+                  | Some k -> Printf.sprintf "kernel %d" k
+                  | None -> "gone"
+                in
+                Printf.printf "  tid %-3d pid %-3d  %s\n" tid pid where)
+              tasks;
+
+            (* kill: terminate the runaway wherever the balancer moved it. *)
+            let victim_at = Ssi.locate_thread th.Api.cluster ~tid:!runaway in
+            let found = Api.kill th ~tid:!runaway in
+            Printf.printf "\nkill tid %d (was on %s): %s\n" !runaway
+              (match victim_at with
+              | Some k -> Printf.sprintf "kernel %d" k
+              | None -> "?")
+              (if found then "terminated" else "not found");
+
+            (* Wait for the rest to finish normally. *)
+            while List.length (Api.global_tasks th) > 1 do
+              Api.compute th (Sim.Time.ms 1)
+            done)
+      in
+      Api.wait_exit cluster proc;
+      Balancer.stop balancer);
+  Sim.Engine.run eng;
+  Printf.printf
+    "\nfinished at %s; balancer issued %d migration hints; messages: %d\n"
+    (Sim.Time.to_string (Sim.Engine.now eng))
+    (Balancer.hints_issued balancer)
+    (Msg.Transport.stats cluster.Types.fabric).Msg.Transport.sent

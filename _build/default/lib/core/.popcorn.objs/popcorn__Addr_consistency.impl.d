@@ -1,0 +1,1 @@
+lib/core/addr_consistency.ml: Hashtbl Hw Kernelmodel List Page_coherence Process_model Proto_util Sim Types

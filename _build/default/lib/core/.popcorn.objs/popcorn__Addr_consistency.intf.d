@@ -1,0 +1,1 @@
+lib/core/addr_consistency.mli: Hw Kernelmodel Sim Types

@@ -1,0 +1,1 @@
+lib/core/api.ml: Addr_consistency Balancer Cluster Dfutex Fork Hashtbl Hw Kernelmodel Migration Page_coherence Printf Proto_util Result Sim Ssi Thread_group Types Vfs

@@ -1,0 +1,1 @@
+lib/core/api.mli: Dfutex Hw Kernelmodel Migration Sim Types

@@ -1,0 +1,1 @@
+lib/core/balancer.ml: Array Fun Hashtbl Kernelmodel List Msg Printf Proto_util Sim Types

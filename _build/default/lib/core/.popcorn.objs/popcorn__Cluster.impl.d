@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Addr_consistency Array Balancer Dfutex Hashtbl Hw Kernelmodel List Migration Msg Page_coherence Printf Process_model Sim Ssi Thread_group Types Vfs

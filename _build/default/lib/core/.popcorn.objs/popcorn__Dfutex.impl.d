@@ -1,0 +1,1 @@
+lib/core/dfutex.ml: Hashtbl Hw Kernelmodel Msg Proto_util Queue Sim Types

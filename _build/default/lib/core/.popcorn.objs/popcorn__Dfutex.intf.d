@@ -1,0 +1,1 @@
+lib/core/dfutex.mli: Hw Sim Types

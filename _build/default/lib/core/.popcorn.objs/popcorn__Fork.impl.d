@@ -1,0 +1,1 @@
+lib/core/fork.ml: Addr_consistency Hashtbl Hw Kernelmodel List Process_model Proto_util Sim Types

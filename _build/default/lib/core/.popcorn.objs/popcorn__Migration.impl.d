@@ -1,0 +1,1 @@
+lib/core/migration.ml: Format Hashtbl Hw Kernelmodel List Page_coherence Process_model Proto_util Sim Thread_group Types

@@ -1,0 +1,1 @@
+lib/core/page_coherence.ml: Engine Hashtbl Hw Kernelmodel List Msg Mutex Proto_util Sim Time Types

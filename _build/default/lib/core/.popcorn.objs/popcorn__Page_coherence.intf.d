@@ -1,0 +1,1 @@
+lib/core/page_coherence.mli: Hw Kernelmodel Types

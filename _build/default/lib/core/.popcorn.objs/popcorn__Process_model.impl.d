@@ -1,0 +1,1 @@
+lib/core/process_model.ml: Hashtbl Hw Kernelmodel List Proto_util Sim Types

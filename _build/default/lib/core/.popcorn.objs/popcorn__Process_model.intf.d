@@ -1,0 +1,1 @@
+lib/core/process_model.mli: Kernelmodel Sim Types

@@ -1,0 +1,1 @@
+lib/core/proto_util.ml: Engine List Msg Sim Types

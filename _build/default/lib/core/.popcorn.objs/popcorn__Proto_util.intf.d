@@ -1,0 +1,1 @@
+lib/core/proto_util.mli: Hw Sim Types

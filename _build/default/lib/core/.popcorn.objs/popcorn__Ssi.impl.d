@@ -1,0 +1,1 @@
+lib/core/ssi.ml: Fun Hashtbl Kernelmodel List Msg Proto_util Sim Ssi_locate Types

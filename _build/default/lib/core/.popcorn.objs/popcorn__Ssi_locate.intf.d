@@ -1,0 +1,1 @@
+lib/core/ssi_locate.mli: Types

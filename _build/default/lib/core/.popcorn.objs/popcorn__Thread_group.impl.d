@@ -1,0 +1,1 @@
+lib/core/thread_group.ml: Hashtbl Hw Kernelmodel List Process_model Proto_util Sim Ssi_locate Types

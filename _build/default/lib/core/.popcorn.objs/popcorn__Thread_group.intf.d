@@ -1,0 +1,1 @@
+lib/core/thread_group.mli: Hw Kernelmodel Types

@@ -1,0 +1,1 @@
+lib/core/types.ml: Array Engine Format Hashtbl Hw Kernelmodel List Msg Mutex Printf Queue Sim String Trace Waitq

@@ -1,0 +1,1 @@
+lib/core/vfs.ml: Hashtbl Hw Proto_util Sim Types

@@ -1,0 +1,114 @@
+(** Distributed address-space consistency: the mmap family over replicated
+    VMA trees.
+
+    The origin kernel owns the authoritative layout. mmap only updates the
+    master; replicas learn {e lazily} on their first fault into a region
+    ([Vma_lookup]), as Popcorn does. Destructive operations (munmap,
+    mprotect) are pushed {e eagerly} to every member kernel with acks —
+    each replica drops the affected range (layout, translations, frames)
+    and refetches lazily. A process living on a single kernel performs all
+    of this without any message. *)
+
+open Types
+
+val vma_op_cost : Sim.Time.t
+(** Modelled VMA-tree manipulation work per operation. *)
+
+(** {1 Application-facing entry points} (called on the thread's kernel) *)
+
+val mmap :
+  cluster ->
+  kernel ->
+  core:Hw.Topology.core ->
+  pid:pid ->
+  len:int ->
+  prot:Kernelmodel.Vma.prot ->
+  (Kernelmodel.Vma.vma, string) result
+
+val munmap :
+  cluster ->
+  kernel ->
+  core:Hw.Topology.core ->
+  pid:pid ->
+  start:int ->
+  len:int ->
+  (unit, string) result
+
+val mprotect :
+  cluster ->
+  kernel ->
+  core:Hw.Topology.core ->
+  pid:pid ->
+  start:int ->
+  len:int ->
+  prot:Kernelmodel.Vma.prot ->
+  (unit, string) result
+
+val fetch_vma :
+  cluster -> kernel -> core:Hw.Topology.core -> pid:pid -> addr:int -> bool
+(** Lazy replication: resolve a fault address with no covering VMA in the
+    local replica against the origin's master layout, installing the
+    covering VMA locally. Returns whether the address is mapped at all.
+    Must not be called on the origin (its layout is authoritative). *)
+
+(** {1 Message handlers} (wired by [Cluster.dispatch]) *)
+
+val handle_mmap_req :
+  cluster ->
+  kernel ->
+  src:int ->
+  ticket:int ->
+  pid:pid ->
+  len:int ->
+  prot:Kernelmodel.Vma.prot ->
+  unit
+
+val handle_munmap_req :
+  cluster ->
+  kernel ->
+  src:int ->
+  ticket:int ->
+  pid:pid ->
+  start:int ->
+  len:int ->
+  unit
+
+val handle_mprotect_req :
+  cluster ->
+  kernel ->
+  src:int ->
+  ticket:int ->
+  pid:pid ->
+  start:int ->
+  len:int ->
+  prot:Kernelmodel.Vma.prot ->
+  unit
+
+val handle_vma_remove :
+  cluster ->
+  kernel ->
+  src:int ->
+  pid:pid ->
+  start:int ->
+  len:int ->
+  ack_ticket:int ->
+  unit
+
+val handle_vma_protect :
+  cluster ->
+  kernel ->
+  src:int ->
+  pid:pid ->
+  start:int ->
+  len:int ->
+  prot:Kernelmodel.Vma.prot ->
+  ack_ticket:int ->
+  unit
+
+val handle_vma_fetch :
+  cluster -> kernel -> src:int -> ticket:int -> pid:pid -> unit
+(** Membership-enrolling layout snapshot for a kernel about to host its
+    first member of [pid]; runs under the origin's mm lock. *)
+
+val handle_vma_lookup :
+  cluster -> kernel -> src:int -> ticket:int -> pid:pid -> addr:int -> unit

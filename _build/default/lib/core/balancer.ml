@@ -1,0 +1,126 @@
+(** Inter-kernel load balancing.
+
+    A per-kernel balancer fiber periodically queries the other kernels'
+    run-queue weights over the messaging layer, and when its own kernel is
+    overloaded relative to the cluster it leaves a migration hint for one
+    of its threads. Threads consume hints at cooperative migration points
+    (the [Api.compute] boundary), which is how Popcorn migrates: the kernel
+    proposes, the thread's next safe point disposes.
+
+    This recovers the work-spreading that SMP Linux gets for free from its
+    shared runqueues — one of the paper's "cost of the design" discussion
+    points — and is exercised by the load_balancer example and tests. *)
+
+open Types
+module K = Kernelmodel
+
+type t = {
+  period : Sim.Time.t;
+  threshold : int;  (** hint only if local load exceeds average by this. *)
+  mutable hints_issued : int;
+  mutable running : bool;
+}
+
+let handle_load_query cluster (kernel : kernel) ~src ~ticket =
+  Proto_util.kernel_work cluster (Sim.Time.ns 200);
+  let load =
+    List.fold_left
+      (fun acc core -> acc + K.Cpu.assigned (K.Sched.cpu kernel.sched core))
+      0 (K.Sched.cores kernel.sched)
+  in
+  send cluster ~src:kernel.kid ~dst:src (Load_info { ticket; load })
+
+let local_load (kernel : kernel) =
+  List.fold_left
+    (fun acc core -> acc + K.Cpu.assigned (K.Sched.cpu kernel.sched core))
+    0 (K.Sched.cores kernel.sched)
+
+(* One balancing round on [kernel]: gather loads, hint one thread away if
+   overloaded. *)
+let round t cluster (kernel : kernel) =
+  let eng = eng cluster in
+  let others =
+    List.filter (fun k -> k <> kernel.kid)
+      (List.init (nkernels cluster) Fun.id)
+  in
+  let loads = Hashtbl.create 8 in
+  let g = Msg.Gather.create eng ~expected:(List.length others) in
+  List.iter
+    (fun dst ->
+      let ticket =
+        Msg.Rpc.register kernel.rpc (fun resp ->
+            (match resp with
+            | Load_info { load; _ } -> Hashtbl.replace loads dst load
+            | _ -> ());
+            Msg.Gather.ack g)
+      in
+      send cluster ~src:kernel.kid ~dst (Load_query { ticket }))
+    others;
+  Msg.Gather.wait g;
+  let mine = local_load kernel in
+  let total =
+    Hashtbl.fold (fun _ l acc -> acc + l) loads mine
+  in
+  let avg = total / nkernels cluster in
+  if mine > avg + t.threshold then begin
+    (* Pick the emptiest kernel and the first hint-free live local task. *)
+    let target =
+      Hashtbl.fold
+        (fun k l (bk, bl) -> if l < bl then (k, l) else (bk, bl))
+        loads (kernel.kid, mine)
+      |> fst
+    in
+    if target <> kernel.kid then begin
+      let candidate =
+        Hashtbl.fold
+          (fun tid (task : K.Task.t) acc ->
+            match acc with
+            | Some _ -> acc
+            | None ->
+                if
+                  K.Task.is_live task
+                  && not (Hashtbl.mem kernel.migrate_hints tid)
+                then Some tid
+                else None)
+          kernel.tasks None
+      in
+      match candidate with
+      | Some tid ->
+          Hashtbl.replace kernel.migrate_hints tid target;
+          t.hints_issued <- t.hints_issued + 1
+      | None -> ()
+    end
+  end
+
+(** Start balancer fibers on every kernel. They run until [stop]. *)
+let start ?(period = Sim.Time.ms 1) ?(threshold = 2) cluster : t =
+  let t = { period; threshold; hints_issued = 0; running = true } in
+  Array.iter
+    (fun kernel ->
+      Sim.Engine.spawn (eng cluster)
+        ~name:(Printf.sprintf "balancer-k%d" kernel.kid)
+        (fun () ->
+          let rec loop () =
+            if t.running then begin
+              Sim.Engine.sleep (eng cluster) t.period;
+              if t.running then begin
+                round t cluster kernel;
+                loop ()
+              end
+            end
+          in
+          loop ()))
+    cluster.kernels;
+  t
+
+let stop t = t.running <- false
+let hints_issued t = t.hints_issued
+
+(** Cooperative migration point: called by the API layer after compute
+    slices. Returns the destination if this thread was asked to move. *)
+let take_hint (kernel : kernel) ~tid =
+  match Hashtbl.find_opt kernel.migrate_hints tid with
+  | Some dst ->
+      Hashtbl.remove kernel.migrate_hints tid;
+      Some dst
+  | None -> None

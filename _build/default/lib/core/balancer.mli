@@ -1,0 +1,27 @@
+(** Inter-kernel load balancing.
+
+    Per-kernel balancer fibers periodically exchange run-queue weights over
+    the messaging layer; an overloaded kernel leaves migration hints that
+    its threads consume at cooperative migration points ([Api.compute]
+    boundaries) — how Popcorn migrates: the kernel proposes, the thread's
+    next safe point disposes. *)
+
+open Types
+
+type t
+
+val start : ?period:Sim.Time.t -> ?threshold:int -> cluster -> t
+(** Start balancer fibers on every kernel. [period] defaults to 1 ms;
+    [threshold] (default 2) is how far above the cluster average a
+    kernel's load must be before it sheds a thread. *)
+
+val stop : t -> unit
+(** Stop all balancer fibers (at their next period boundary). *)
+
+val hints_issued : t -> int
+
+val take_hint : kernel -> tid:tid -> int option
+(** Consume the pending migration hint for [tid], if any (API layer). *)
+
+val handle_load_query : cluster -> kernel -> src:int -> ticket:int -> unit
+(** Message handler (wired by [Cluster.dispatch]). *)

@@ -1,0 +1,25 @@
+(** Booting the replicated-kernel OS and dispatching inter-kernel messages
+    to the subsystems. *)
+
+open Types
+
+val dispatch : cluster -> dst:int -> src:int -> payload -> unit
+(** Route one delivered message to its subsystem handler (installed as the
+    transport handler by {!boot}; exposed for tests). *)
+
+val boot :
+  ?opts:options -> Hw.Machine.t -> kernels:int -> cores_per_kernel:int ->
+  cluster
+(** Boot a replicated-kernel OS: one kernel per contiguous block of
+    [cores_per_kernel] cores, each with its own scheduler, id-space slice,
+    mm lock, futex table and message endpoint. *)
+
+val enable_tracing : ?capacity:int -> cluster -> Sim.Trace.t
+(** Start collecting protocol events (migrations, faults, mm ops...);
+    returns the trace for inspection or [Sim.Trace.pp]. *)
+
+val create_process :
+  cluster -> origin_kernel:int -> process * Kernelmodel.Task.t
+(** Fresh single-threaded process on [origin_kernel] with a conventional
+    initial layout (text, heap, stack). Must run inside the simulation.
+    Most callers want [Api.start_process] instead. *)

@@ -1,0 +1,180 @@
+(** Distributed futexes.
+
+    Futexes of a distributed thread group are served by a global queue at
+    the group's origin kernel (the paper's global futex worker): a waiter
+    registers remotely and sleeps locally; a waker asks the origin to pop
+    waiters, and the origin sends a grant to each waiter's kernel, which
+    wakes the locally-parked thread. Groups that live on one kernel use the
+    plain per-kernel futex table — no messages. *)
+
+open Types
+module K = Kernelmodel
+
+let futex_op_cost = Sim.Time.ns 250
+
+type wait_result = Woken | Timed_out
+
+(* ------------------------------------------------------------------ *)
+(* Origin-side queue management                                        *)
+(* ------------------------------------------------------------------ *)
+
+let queue_of (proc : process) addr =
+  match Hashtbl.find_opt proc.dfutex_queues addr with
+  | Some q -> q
+  | None ->
+      let q = Queue.create () in
+      Hashtbl.add proc.dfutex_queues addr q;
+      q
+
+let handle_wait_req cluster (kernel : kernel) ~pid ~addr ~waiter =
+  Proto_util.kernel_work cluster futex_op_cost;
+  let proc = proc_exn cluster pid in
+  Queue.push waiter (queue_of proc addr);
+  ignore kernel
+
+let handle_wait_cancel cluster (kernel : kernel) ~pid ~addr ~wake_ticket =
+  Proto_util.kernel_work cluster futex_op_cost;
+  let proc = proc_exn cluster pid in
+  (match Hashtbl.find_opt proc.dfutex_queues addr with
+  | None -> ()
+  | Some q ->
+      let keep = Queue.create () in
+      Queue.iter
+        (fun w -> if w.wake_ticket <> wake_ticket then Queue.push w keep)
+        q;
+      Queue.clear q;
+      Queue.transfer keep q);
+  ignore kernel
+
+let handle_wake_req cluster (kernel : kernel) ~src ~ticket ~pid ~addr ~count =
+  Proto_util.kernel_work cluster futex_op_cost;
+  let proc = proc_exn cluster pid in
+  let q = queue_of proc addr in
+  let rec pop n =
+    if n >= count || Queue.is_empty q then n
+    else begin
+      let w = Queue.pop q in
+      if w.waiter_kernel = kernel.kid then
+        (* Waiter parked on this very kernel: complete its ticket locally. *)
+        Msg.Rpc.complete kernel.rpc ~ticket:w.wake_ticket
+          (Futex_grant { wake_ticket = w.wake_ticket })
+      else
+        send cluster ~src:kernel.kid ~dst:w.waiter_kernel
+          (Futex_grant { wake_ticket = w.wake_ticket });
+      pop (n + 1)
+    end
+  in
+  let woken = pop 0 in
+  send cluster ~src:kernel.kid ~dst:src (Futex_wake_resp { ticket; woken })
+
+let handle_grant (kernel : kernel) ~wake_ticket =
+  Msg.Rpc.complete kernel.rpc ~ticket:wake_ticket
+    (Futex_grant { wake_ticket })
+
+(* ------------------------------------------------------------------ *)
+(* Application-facing operations                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** FUTEX_WAIT. The [expect] check against memory is the caller's job (the
+    API layer reads the futex word first). *)
+let wait cluster (kernel : kernel) ~core ~pid ?timeout () ~addr : wait_result
+    =
+  let p = params cluster in
+  Proto_util.kernel_work cluster p.Hw.Params.syscall_overhead;
+  let r = replica_exn kernel pid in
+  let proc = r.proc in
+  if (not r.distributed) && kernel.kid = proc.origin then begin
+    (* Fast path: plain kernel-local futex. *)
+    Proto_util.kernel_work cluster futex_op_cost;
+    match K.Futex.wait kernel.local_futex ~addr ?timeout () with
+    | K.Futex.Woken -> Woken
+    | K.Futex.Timed_out -> Timed_out
+  end
+  else begin
+    (* Register with the origin's global queue, then sleep on the ticket.
+       The origin-resident waiter of a distributed group skips the wire and
+       pushes directly (it runs on the kernel that owns the queue). *)
+    let eng = eng cluster in
+    let enlist ticket =
+      let waiter = { waiter_kernel = kernel.kid; wake_ticket = ticket } in
+      if kernel.kid = proc.origin then begin
+        Proto_util.kernel_work cluster futex_op_cost;
+        Queue.push waiter (queue_of proc addr)
+      end
+      else
+        send_from cluster ~src:kernel.kid ~src_core:core ~dst:proc.origin
+          (Futex_wait_req { pid; addr; waiter })
+    in
+    let used_ticket = ref 0 in
+    let resp =
+      Sim.Engine.suspend eng (fun resume ->
+          let ticket =
+            Msg.Rpc.register kernel.rpc (fun r -> resume (Some r))
+          in
+          used_ticket := ticket;
+          (match timeout with
+          | None -> ()
+          | Some timeout ->
+              Sim.Engine.schedule eng ~after:timeout (fun () ->
+                  if Msg.Rpc.forget kernel.rpc ~ticket then resume None));
+          (* [enlist] may block (message send); run it as its own fiber so
+             the suspension is already armed when any grant arrives. *)
+          Sim.Engine.spawn eng ~name:"futex-enlist" (fun () ->
+              enlist ticket))
+    in
+    match resp with
+    | Some (Futex_grant _) -> Woken
+    | Some _ -> assert false
+    | None ->
+        (* Timed out: retract the registration (best effort; a grant racing
+           with the cancel is dropped by the stale-ticket check). *)
+        if kernel.kid = proc.origin then
+          handle_wait_cancel cluster kernel ~pid ~addr
+            ~wake_ticket:!used_ticket
+        else
+          send_from cluster ~src:kernel.kid ~src_core:core ~dst:proc.origin
+            (Futex_wait_cancel { pid; addr; wake_ticket = !used_ticket });
+        Timed_out
+  end
+
+(** FUTEX_WAKE: wake up to [count] waiters; returns how many. *)
+let wake cluster (kernel : kernel) ~core ~pid ~addr ~count : int =
+  let p = params cluster in
+  Proto_util.kernel_work cluster p.Hw.Params.syscall_overhead;
+  let r = replica_exn kernel pid in
+  let proc = r.proc in
+  if (not r.distributed) && kernel.kid = proc.origin then begin
+    Proto_util.kernel_work cluster futex_op_cost;
+    K.Futex.wake kernel.local_futex ~addr ~count
+  end
+  else if kernel.kid = proc.origin then begin
+    (* Origin-local distributed wake: operate on the global queue directly
+       (plus drain any local fast-path waiters left from before the group
+       became distributed). *)
+    Proto_util.kernel_work cluster futex_op_cost;
+    let local = K.Futex.wake kernel.local_futex ~addr ~count in
+    let q = queue_of proc addr in
+    let rec pop n =
+      if n >= count - local || Queue.is_empty q then n
+      else begin
+        let w = Queue.pop q in
+        if w.waiter_kernel = kernel.kid then
+          Msg.Rpc.complete kernel.rpc ~ticket:w.wake_ticket
+            (Futex_grant { wake_ticket = w.wake_ticket })
+        else
+          send cluster ~src:kernel.kid ~dst:w.waiter_kernel
+            (Futex_grant { wake_ticket = w.wake_ticket });
+        pop (n + 1)
+      end
+    in
+    local + pop 0
+  end
+  else begin
+    match
+      Proto_util.call_from cluster ~src:kernel ~src_core:core
+        ~dst:proc.origin (fun ~ticket ->
+          Futex_wake_req { ticket; pid; addr; count })
+    with
+    | Futex_wake_resp { woken; _ } -> woken
+    | _ -> assert false
+  end

@@ -1,0 +1,49 @@
+(** Distributed futexes.
+
+    Futexes of a distributed thread group are served by a global queue at
+    the group's origin kernel: a waiter registers remotely and sleeps
+    locally on a ticket; a waker asks the origin to pop waiters, and the
+    origin routes a grant to each waiter's kernel. Groups living on a
+    single kernel use the plain per-kernel futex table — no messages. *)
+
+open Types
+
+type wait_result = Woken | Timed_out
+
+val wait :
+  cluster ->
+  kernel ->
+  core:Hw.Topology.core ->
+  pid:pid ->
+  ?timeout:Sim.Time.t ->
+  unit ->
+  addr:int ->
+  wait_result
+(** FUTEX_WAIT. The userspace value check is the caller's job. On timeout
+    the registration is retracted (a racing grant is dropped by the
+    stale-ticket check). *)
+
+val wake :
+  cluster -> kernel -> core:Hw.Topology.core -> pid:pid -> addr:int ->
+  count:int -> int
+(** FUTEX_WAKE: wake up to [count] waiters; returns how many. *)
+
+(** {1 Message handlers} (wired by [Cluster.dispatch]) *)
+
+val handle_wait_req :
+  cluster -> kernel -> pid:pid -> addr:int -> waiter:dfutex_waiter -> unit
+
+val handle_wait_cancel :
+  cluster -> kernel -> pid:pid -> addr:int -> wake_ticket:int -> unit
+
+val handle_wake_req :
+  cluster ->
+  kernel ->
+  src:int ->
+  ticket:int ->
+  pid:pid ->
+  addr:int ->
+  count:int ->
+  unit
+
+val handle_grant : kernel -> wake_ticket:int -> unit

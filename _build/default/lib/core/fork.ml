@@ -1,0 +1,65 @@
+(** fork(): new processes from existing ones, on any kernel.
+
+    The child is a fresh single-threaded process homed at the calling
+    thread's kernel (every kernel owns a pid slice, so no coordination is
+    needed for the id). Its layout is a snapshot of the parent's master
+    layout — fetched from the parent's origin when the caller is remote —
+    and its logical page contents are inherited copy-on-write style: no
+    data moves at fork time; the child's first touch of each page faults
+    and materialises a private copy, which is exactly the cost profile of
+    a COW fork. *)
+
+open Types
+module K = Kernelmodel
+
+(* Page-table/bookkeeping copy cost per inherited page entry. *)
+let pte_copy_cost = Sim.Time.ns 150
+let fork_bookkeeping_cost = Sim.Time.us 4
+
+(** Fork a child of [pid] at [kernel]; returns (child process, initial
+    task). Called from the parent thread's fiber on [kernel]/[core]. *)
+let fork cluster (kernel : kernel) ~core ~pid : process * K.Task.t =
+  Proto_util.kernel_work cluster
+    (params cluster).Hw.Params.syscall_overhead;
+  let parent = proc_exn cluster pid in
+  (* A consistent full snapshot of the parent's layout: read locally at
+     the parent's origin, fetched over the wire otherwise. *)
+  let layout =
+    if kernel.kid = parent.origin then begin
+      let r = replica_exn kernel pid in
+      Hw.Spinlock.with_lock kernel.mm_lock ~core (fun () ->
+          Proto_util.kernel_work cluster Addr_consistency.vma_op_cost;
+          K.Vma.vmas r.vmas)
+    end
+    else
+      match
+        Proto_util.call_from cluster ~src:kernel ~src_core:core
+          ~dst:parent.origin (fun ~ticket -> Vma_fetch_req { ticket; pid })
+      with
+      | Vma_fetch_resp { vmas; _ } -> vmas
+      | _ -> assert false
+  in
+  Proto_util.kernel_work cluster fork_bookkeeping_cost;
+  Proto_util.kernel_work cluster
+    (Sim.Time.scale (List.length layout) Addr_consistency.vma_op_cost);
+  let child = Process_model.create_master cluster ~origin:kernel in
+  let r = Process_model.create_replica kernel child ~vma_proto:layout in
+  (* Inherit logical contents (COW: versions now, data on first touch).
+     The copied page-table entries are what fork pays for. *)
+  let inherited = Hashtbl.length parent.page_version in
+  Proto_util.kernel_work cluster (Sim.Time.scale inherited pte_copy_cost);
+  Hashtbl.iter
+    (fun vpn v -> Hashtbl.replace child.page_version vpn v)
+    parent.page_version;
+  let tid = K.Ids.next kernel.tid_alloc in
+  let ctx =
+    K.Context.fresh (Sim.Engine.rng (eng cluster)) ~use_fpu:false
+  in
+  (* The child's task is built from scratch (fork cannot re-animate a
+     dummy thread — that fast path is for imports); the pool is primed
+     only afterwards, for future imports into the child. *)
+  let task = Process_model.make_task cluster kernel r ~tid ~ctx in
+  Process_model.prime_dummy_pool cluster r;
+  trace cluster ~cat:"fork" "pid %d forked pid %d on k%d" pid child.pid
+    kernel.kid;
+  (child, task)

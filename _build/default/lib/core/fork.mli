@@ -1,0 +1,17 @@
+(** fork(): new processes from existing ones, on any kernel.
+
+    The child is a fresh single-threaded process homed at the calling
+    thread's kernel; its layout snapshots the parent's master layout and
+    its logical contents are inherited COW-style (no data copied at fork;
+    first touches fault in private copies). *)
+
+open Types
+
+val fork :
+  cluster ->
+  kernel ->
+  core:Hw.Topology.core ->
+  pid:pid ->
+  process * Kernelmodel.Task.t
+(** Fork a child of [pid] at [kernel]; returns the child's master record
+    and its initial task. Most callers want [Api.fork]. *)

@@ -1,0 +1,157 @@
+(** Context migration between kernels.
+
+    The paper's central mechanism: a thread calls [migrate(dst)], its
+    architectural context is saved and shipped to the destination kernel,
+    which re-animates it in a task struct (a pre-spawned dummy thread when
+    the pool optimisation is on), attaches it to the local address-space
+    replica, and schedules it. The source keeps no runnable state — the
+    thread now exists on exactly one kernel.
+
+    [migrate] returns a per-phase cost breakdown so the T1 experiment can
+    report the same decomposition as the paper's migration-cost table. *)
+
+open Types
+module K = Kernelmodel
+
+type breakdown = {
+  save_ctx_ns : int;
+  messaging_ns : int;  (** both transfers, incl. ring + doorbell costs. *)
+  import_ns : int;  (** destination-side work (replica, task, attach). *)
+  schedule_in_ns : int;
+  prefetch_ns : int;
+      (** working-set prefetch at the destination (0 unless the
+          [migration_prefetch] option is on). *)
+  total_ns : int;
+}
+
+let save_ctx_cost (ctx : K.Context.t) =
+  (* Register save + kernel bookkeeping; FXSAVE for FPU users. *)
+  Sim.Time.add (Sim.Time.ns 200)
+    (if K.Context.has_fpu ctx then Sim.Time.ns 300 else Sim.Time.zero)
+
+let restore_ctx_cost (ctx : K.Context.t) =
+  Sim.Time.add (Sim.Time.ns 200)
+    (if K.Context.has_fpu ctx then Sim.Time.ns 250 else Sim.Time.zero)
+
+(* Attaching the incoming thread to the local mm: PGD switch etc. *)
+let mm_attach_cost = Sim.Time.ns 500
+
+(* Crossing an ISA boundary (heterogeneous Popcorn): the saved context
+   must be transformed between ABIs — register remapping plus a stack
+   rewrite pass. Calibrated to the order reported by the heterogeneous
+   follow-on work (tens of microseconds for the state transformation). *)
+let isa_transform_cost = Sim.Time.us 25
+
+(** Destination-side import handler. *)
+let handle_migrate_req cluster (kernel : kernel) ~src ~ticket ~pid
+    ~(task : K.Task.t) =
+  let eng = eng cluster in
+  let t0 = Sim.Engine.now eng in
+  let proc = proc_exn cluster pid in
+  let r = Thread_group.ensure_replica cluster kernel proc in
+  Process_model.adopt_task cluster kernel r task;
+  task.K.Task.migrations <- task.K.Task.migrations + 1;
+  Proto_util.kernel_work cluster (restore_ctx_cost task.K.Task.ctx);
+  Proto_util.kernel_work cluster mm_attach_cost;
+  K.Task.set_state task K.Task.Ready;
+  let import_ns = Sim.Time.sub (Sim.Engine.now eng) t0 in
+  trace cluster ~cat:"migrate" "k%d imported tid %d of pid %d (%dns)"
+    kernel.kid task.K.Task.tid pid import_ns;
+  send cluster ~src:kernel.kid ~dst:src (Migrate_ack { ticket; import_ns })
+
+(* Pull the migrated thread's recent working set to the destination, as
+   read replicas, before it resumes. Trades migration latency for fewer
+   post-migration remote faults (the A1 ablation experiment measures the
+   trade). *)
+let prefetch_working_set cluster (dst_kernel : kernel) (task : K.Task.t)
+    ~core =
+  let budget = cluster.opts.migration_prefetch in
+  if budget > 0 then begin
+    let r = replica_exn dst_kernel task.K.Task.tgid in
+    let rec go n = function
+      | [] -> ()
+      | _ when n = 0 -> ()
+      | vpn :: rest ->
+          let addr = K.Page_table.addr_of_vpn vpn in
+          (match
+             Page_coherence.touch cluster dst_kernel r ~core ~addr
+               ~access:K.Fault.Read
+           with
+          | Ok _ -> ()
+          | Error _ -> () (* range may have been unmapped; skip *));
+          go (n - 1) rest
+    in
+    go budget task.K.Task.recent_vpns
+  end
+
+(** Migrate [task] (running on [kernel]/[core]) to [dst]. The caller is the
+    thread's own fiber; on return the task lives on [dst] and the fiber
+    should continue computing there. *)
+let migrate cluster (kernel : kernel) ~core (task : K.Task.t) ~dst :
+    breakdown =
+  if dst = kernel.kid then
+    {
+      save_ctx_ns = 0;
+      messaging_ns = 0;
+      import_ns = 0;
+      schedule_in_ns = 0;
+      prefetch_ns = 0;
+      total_ns = 0;
+    }
+  else begin
+    let eng = eng cluster in
+    let p = params cluster in
+    let t0 = Sim.Engine.now eng in
+    Proto_util.kernel_work cluster p.Hw.Params.syscall_overhead;
+    (* Save the outgoing context. *)
+    K.Task.set_state task (K.Task.Blocked "migration");
+    task.K.Task.ctx <- K.Context.step task.K.Task.ctx;
+    Proto_util.kernel_work cluster (save_ctx_cost task.K.Task.ctx);
+    (* Heterogeneous hop: transform the context between ABIs before it
+       ships (register remap + stack rewrite at the source, as in the
+       heterogeneous Popcorn design). *)
+    if kernel.arch <> (kernel_of cluster dst).arch then
+      Proto_util.kernel_work cluster isa_transform_cost;
+    let t_saved = Sim.Engine.now eng in
+    (* Ship it and wait for the destination to adopt. *)
+    let import_ns =
+      match
+        Proto_util.call_from cluster ~src:kernel ~src_core:core ~dst
+          (fun ~ticket ->
+            Migrate_req { ticket; pid = task.K.Task.tgid; task })
+      with
+      | Migrate_ack { import_ns; _ } -> import_ns
+      | _ -> assert false
+    in
+    let t_acked = Sim.Engine.now eng in
+    (* Source-side teardown: the task no longer runs here. *)
+    let r = replica_exn kernel task.K.Task.tgid in
+    r.members <- List.filter (fun t -> t != task) r.members;
+    Hashtbl.remove kernel.tasks task.K.Task.tid;
+    (match task.K.Task.core with
+    | Some c when K.Sched.owns kernel.sched c -> K.Sched.unassign kernel.sched c
+    | Some _ | None -> ());
+    (* Destination-side schedule-in, charged to the thread itself. *)
+    let dst_kernel = kernel_of cluster dst in
+    let new_core = K.Sched.pick_core dst_kernel.sched in
+    K.Sched.assign dst_kernel.sched new_core;
+    task.K.Task.kernel <- dst;
+    task.K.Task.core <- Some new_core;
+    K.Task.set_state task K.Task.Running;
+    Proto_util.kernel_work cluster p.Hw.Params.context_switch;
+    let t_sched = Sim.Engine.now eng in
+    let arch_name a = Format.asprintf "%a" pp_arch a in
+    trace cluster ~cat:"migrate" "tid %d: k%d(%s) -> k%d(%s)"
+      task.K.Task.tid kernel.kid (arch_name kernel.arch) dst
+      (arch_name dst_kernel.arch);
+    prefetch_working_set cluster dst_kernel task ~core:new_core;
+    let t_end = Sim.Engine.now eng in
+    {
+      save_ctx_ns = Sim.Time.sub t_saved t0;
+      messaging_ns = Sim.Time.sub t_acked t_saved - import_ns;
+      import_ns;
+      schedule_in_ns = Sim.Time.sub t_sched t_acked;
+      prefetch_ns = Sim.Time.sub t_end t_sched;
+      total_ns = Sim.Time.sub t_end t0;
+    }
+  end

@@ -1,0 +1,43 @@
+(** Context migration between kernels — the paper's central mechanism.
+
+    A thread calls migrate(dst): its architectural context is saved and
+    shipped to the destination kernel, which re-animates it (in a
+    pre-spawned dummy thread when the pool optimisation is on), attaches it
+    to the local address-space replica, and schedules it. The source keeps
+    no runnable state. With the [migration_prefetch] option the thread's
+    recent working set is pulled before it resumes. *)
+
+open Types
+
+type breakdown = {
+  save_ctx_ns : int;  (** register + optional FXSAVE save at the source. *)
+  messaging_ns : int;  (** both transfers, incl. ring + doorbell costs. *)
+  import_ns : int;  (** destination-side work (replica, task, attach). *)
+  schedule_in_ns : int;
+  prefetch_ns : int;
+      (** working-set prefetch at the destination (0 unless the
+          [migration_prefetch] option is on). *)
+  total_ns : int;
+}
+(** Per-phase cost decomposition of one migration (experiment T1). *)
+
+val handle_migrate_req :
+  cluster ->
+  kernel ->
+  src:int ->
+  ticket:int ->
+  pid:pid ->
+  task:Kernelmodel.Task.t ->
+  unit
+(** Destination-side import handler (wired by [Cluster.dispatch]). *)
+
+val migrate :
+  cluster ->
+  kernel ->
+  core:Hw.Topology.core ->
+  Kernelmodel.Task.t ->
+  dst:int ->
+  breakdown
+(** Migrate [task] (running on [kernel]/[core], in the calling fiber) to
+    [dst]. On return the task lives on [dst]; migrating to the current
+    kernel is a free no-op. *)

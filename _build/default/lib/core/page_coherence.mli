@@ -1,0 +1,71 @@
+(** On-demand page coherence for distributed address spaces.
+
+    Single-writer / multiple-reader protocol with a directory at the
+    process's origin kernel: a page is writable on at most one kernel;
+    read-only replicas may exist on several (unless the [read_replication]
+    ablation option is off). Write faults revoke the writer and invalidate
+    readers; read faults downgrade the writer and replicate. The origin
+    holds a per-page fault lock from directory update until the requester
+    acknowledges installing the grant (the randomized tests show the
+    dual-writer race this prevents).
+
+    Page contents are modelled as per-page version numbers: the owner's
+    writes bump the version in place (shared physical memory — hardware,
+    not kernel state); protocol messages carry versions so tests can check
+    read-after-write coherence across kernels. *)
+
+open Types
+
+val page_size : int
+
+(** {1 Fault path (thread side)} *)
+
+val touch :
+  cluster ->
+  kernel ->
+  replica ->
+  core:Hw.Topology.core ->
+  addr:int ->
+  access:Kernelmodel.Fault.access ->
+  (Kernelmodel.Fault.classification, string) result
+(** Memory access by an application thread: classify against the local
+    replica, service the fault if needed (locally at the origin, via the
+    directory protocol otherwise). [Error] is a segfault — callers with a
+    lazily-replicated layout should first try [Addr_consistency.fetch_vma]. *)
+
+val write_commit : replica -> addr:int -> unit
+(** Commit a write on a page this kernel owns writable: bumps the logical
+    content version (a plain memory store on real hardware). *)
+
+val read_version : replica -> addr:int -> int
+(** Content version visible on this kernel (0 if never written). *)
+
+(** {1 munmap support} *)
+
+val drop_range_local :
+  cluster -> kernel -> replica -> start:int -> len:int -> unit
+(** Drop local translations, frames and cached content for a byte range. *)
+
+val drop_range_directory : process -> start:int -> len:int -> unit
+(** Directory + content-version cleanup for a byte range (origin only). *)
+
+(** {1 Message handlers} (wired by [Cluster.dispatch]) *)
+
+val handle_page_req :
+  cluster ->
+  kernel ->
+  src:int ->
+  ticket:int ->
+  pid:pid ->
+  vpn:int ->
+  access:Kernelmodel.Fault.access ->
+  unit
+
+val handle_page_pull :
+  cluster -> kernel -> src:int -> ticket:int -> pid:pid -> vpn:int -> unit
+
+val handle_page_invalidate :
+  cluster -> kernel -> src:int -> pid:pid -> vpn:int -> ack_ticket:int -> unit
+
+val handle_page_downgrade :
+  cluster -> kernel -> src:int -> pid:pid -> vpn:int -> ack_ticket:int -> unit

@@ -1,0 +1,34 @@
+(** Small protocol helpers shared by the Popcorn subsystems. *)
+
+open Sim
+open Types
+
+(** Charge kernel-side processing work to the current fiber. *)
+let kernel_work cluster dt = Engine.sleep (eng cluster) dt
+
+(** Send [make ~ack_ticket] to every kernel in [targets] in parallel and
+    park until all have acked (via [Rpc.complete] on this kernel). *)
+let broadcast_and_wait cluster ~(src : kernel) ~targets ~make =
+  let targets = List.filter (fun k -> k <> src.kid) targets in
+  match targets with
+  | [] -> ()
+  | _ ->
+      let g = Msg.Gather.create (eng cluster) ~expected:(List.length targets) in
+      List.iter
+        (fun dst ->
+          let ticket =
+            Msg.Rpc.register src.rpc (fun (_ : payload) -> Msg.Gather.ack g)
+          in
+          send cluster ~src:src.kid ~dst (make ~ack_ticket:ticket))
+        targets;
+      Msg.Gather.wait g
+
+(** RPC round trip from kernel [src] to kernel [dst]. *)
+let call cluster ~(src : kernel) ~dst make =
+  Msg.Rpc.call src.rpc (fun ticket ->
+      send cluster ~src:src.kid ~dst (make ~ticket))
+
+(** Like {!call} but sent from an explicit core of the source kernel. *)
+let call_from cluster ~(src : kernel) ~src_core ~dst make =
+  Msg.Rpc.call src.rpc (fun ticket ->
+      send_from cluster ~src:src.kid ~src_core ~dst (make ~ticket))

@@ -1,0 +1,27 @@
+(** Small protocol helpers shared by the Popcorn subsystems. *)
+
+open Types
+
+val kernel_work : cluster -> Sim.Time.t -> unit
+(** Charge kernel-side processing work to the current fiber. *)
+
+val broadcast_and_wait :
+  cluster ->
+  src:kernel ->
+  targets:int list ->
+  make:(ack_ticket:int -> payload) ->
+  unit
+(** Send [make ~ack_ticket] to every kernel in [targets] (self excluded) in
+    parallel and park until all have acked via this kernel's RPC table. *)
+
+val call : cluster -> src:kernel -> dst:int -> (ticket:int -> payload) -> payload
+(** RPC round trip from kernel [src]'s home core to kernel [dst]. *)
+
+val call_from :
+  cluster ->
+  src:kernel ->
+  src_core:Hw.Topology.core ->
+  dst:int ->
+  (ticket:int -> payload) ->
+  payload
+(** Like {!call} but sent from an explicit core of the source kernel. *)

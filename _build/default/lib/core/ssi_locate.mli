@@ -1,0 +1,9 @@
+(** Thread location: which kernel hosts a tid right now.
+
+    Simulation-level read of the per-kernel task tables; the real system
+    does a local pid-hash walk plus origin forwarding. Shared by the kill
+    path and the SSI services. *)
+
+open Types
+
+val locate : cluster -> tid:tid -> int option

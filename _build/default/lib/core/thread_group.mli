@@ -1,0 +1,61 @@
+(** Distributed thread groups: creation, exit, group-wide termination.
+
+    Remote creation is mediated by the group's origin kernel so that
+    membership, tid allocation, stack allocation (in the master layout)
+    and replica creation stay ordered:
+
+    requester -> origin [Thread_spawn_req] -> target [Thread_create_req]
+    -> origin [Thread_create_ack] -> requester [Thread_spawn_resp]. *)
+
+open Types
+
+val stack_len : int
+(** Modelled per-thread stack size (bytes; stacks live in the shared
+    layout and, like glibc's, are cached rather than unmapped on exit). *)
+
+val ensure_replica : cluster -> kernel -> process -> replica
+(** Get (or lazily create, via an origin layout fetch) this kernel's
+    replica of [process]. The fetch enrols the kernel in the membership
+    before the snapshot, so snapshot + later pushes equal the truth. *)
+
+val spawn :
+  cluster -> kernel -> core:Hw.Topology.core -> pid:pid -> target:int -> tid
+(** Create a thread of [pid] on kernel [target], called from a thread on
+    [kernel]/[core]. Returns the new tid once the task exists. *)
+
+val exit_thread : cluster -> kernel -> Kernelmodel.Task.t -> unit
+(** Normal thread exit: local teardown plus the origin-owned live-count
+    decrement (direct at the origin, [Thread_exit_notify] otherwise). *)
+
+val exit_group : cluster -> kernel -> core:Hw.Topology.core -> pid:pid -> unit
+(** Terminate every member on every kernel; returns once all member
+    kernels acked. Parked victims observe death at their next operation. *)
+
+val kill :
+  cluster -> kernel -> core:Hw.Topology.core -> pid:pid -> tid:tid -> bool
+(** SIGKILL one member wherever it lives; [false] if not found alive. *)
+
+(** {1 Message handlers} (wired by [Cluster.dispatch]) *)
+
+val handle_thread_spawn :
+  cluster -> kernel -> src:int -> ticket:int -> pid:pid -> target:int -> unit
+
+val handle_thread_create :
+  cluster ->
+  kernel ->
+  src:int ->
+  ticket:int ->
+  pid:pid ->
+  new_tid:tid ->
+  vma_proto:Kernelmodel.Vma.vma list option ->
+  unit
+
+val handle_thread_exit_notify : cluster -> kernel -> pid:pid -> unit
+val handle_exit_group_req :
+  cluster -> kernel -> src:int -> ticket:int -> pid:pid -> unit
+
+val handle_exit_group_cmd :
+  cluster -> kernel -> src:int -> pid:pid -> ack_ticket:int -> unit
+
+val handle_kill_req :
+  cluster -> kernel -> src:int -> ticket:int -> pid:pid -> tid:tid -> unit

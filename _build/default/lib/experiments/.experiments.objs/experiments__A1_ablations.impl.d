@@ -1,0 +1,1 @@
+lib/experiments/a1_ablations.ml: Api Common Kernelmodel Migration Popcorn Printf Sim Stats Types Workloads

@@ -1,0 +1,1 @@
+lib/experiments/a2_granularity.ml: Common List Popcorn Printf Stats Workloads

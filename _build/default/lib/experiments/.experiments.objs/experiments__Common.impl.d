@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Engine Hw Multikernel Popcorn Sim Smp Time

@@ -1,0 +1,1 @@
+lib/experiments/f1_thread_create.ml: Api Common Engine List Popcorn Sim Smp Smp_api Smp_os Stats Time Types

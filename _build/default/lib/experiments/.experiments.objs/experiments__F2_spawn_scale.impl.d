@@ -1,0 +1,1 @@
+lib/experiments/f2_spawn_scale.ml: Common Hw List Multikernel Popcorn Smp Stats Workloads

@@ -1,0 +1,1 @@
+lib/experiments/f3_mmap_scale.ml: Common List Popcorn Smp Stats Workloads

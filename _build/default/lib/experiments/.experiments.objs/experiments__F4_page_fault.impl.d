@@ -1,0 +1,1 @@
+lib/experiments/f4_page_fault.ml: Api Common Engine Kernelmodel List Popcorn Sim Smp Stats Time Types Workloads

@@ -1,0 +1,1 @@
+lib/experiments/f5_futex.ml: Api Common Engine List Popcorn Sim Smp Smp_api Smp_os Stats Time Types Workloads

@@ -1,0 +1,1 @@
+lib/experiments/f6_apps.ml: Common Hw List Multikernel Popcorn Printf Smp Stats Workloads

@@ -1,0 +1,1 @@
+lib/experiments/f7_processes.ml: Api Common Kernelmodel List Popcorn Printf Result Smp Smp_api Smp_os Stats Types Workloads

@@ -1,0 +1,1 @@
+lib/experiments/t1_migration.ml: Api Common Kernelmodel Migration Popcorn Sim Stats Types

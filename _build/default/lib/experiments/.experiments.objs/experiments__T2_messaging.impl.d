@@ -1,0 +1,1 @@
+lib/experiments/t2_messaging.ml: Common Engine Hw List Msg Sim Stats Time

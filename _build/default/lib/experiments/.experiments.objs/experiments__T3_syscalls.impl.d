@@ -1,0 +1,1 @@
+lib/experiments/t3_syscalls.ml: Api Common Kernelmodel List Popcorn Printf Result Sim Stats Types Workloads

@@ -1,0 +1,137 @@
+(** A1 — Ablations of the design choices.
+
+    Each row disables one mechanism the paper's design relies on and
+    measures the operation it protects:
+
+    - dummy-thread pool  -> remote thread-creation latency
+    - read replication   -> multi-reader hot-page throughput
+    - migration prefetch -> migration cost vs post-migration fault cost
+
+    These back the DESIGN.md discussion of why the mechanisms exist. *)
+
+open Popcorn
+module K = Kernelmodel
+
+let page = 4096
+
+(* Remote create latency with/without the dummy pool. *)
+let remote_create_latency ~use_pool =
+  let opts = { Types.default_options with Types.use_dummy_pool = use_pool } in
+  let result = ref 0 in
+  ignore
+    (Common.run_popcorn ~opts (fun cluster th ->
+         (* Warm the replica so only task acquisition differs. *)
+         ignore (Api.spawn th ~target:8 (fun c -> Api.compute c (Sim.Time.us 1)));
+         Api.compute th (Sim.Time.us 100);
+         let eng = Types.eng cluster in
+         let t0 = Sim.Engine.now eng in
+         ignore (Api.spawn th ~target:8 (fun c -> Api.compute c (Sim.Time.us 1)));
+         result := Sim.Engine.now eng - t0));
+  float_of_int !result
+
+(* N kernels re-reading one hot page after each origin write. With
+   replication each reader keeps a copy; without, the page bounces
+   exclusively between readers. *)
+let hot_page_read_time ~replication =
+  let opts =
+    { Types.default_options with Types.read_replication = replication }
+  in
+  let result = ref 0 in
+  ignore
+    (Common.run_popcorn ~opts (fun cluster th ->
+         let eng = Types.eng cluster in
+         let vma =
+           match Api.mmap th ~len:page ~prot:K.Vma.prot_rw with
+           | Ok v -> v
+           | Error e -> failwith e
+         in
+         let addr = vma.K.Vma.start in
+         (match Api.write th ~addr with Ok () -> () | Error e -> failwith e);
+         let readers = 6 in
+         let latch = Workloads.Latch.create eng readers in
+         let t0 = Sim.Engine.now eng in
+         for k = 1 to readers do
+           ignore
+             (Api.spawn th ~target:k (fun child ->
+                  for _ = 1 to 10 do
+                    match Api.read child ~addr with
+                    | Ok _ -> ()
+                    | Error e -> failwith e
+                  done;
+                  Workloads.Latch.arrive latch))
+         done;
+         Workloads.Latch.wait latch;
+         result := Sim.Engine.now eng - t0));
+  float_of_int !result
+
+(* Migration + post-migration working-set touch, with/without prefetch. *)
+let migration_and_touch ~prefetch =
+  let opts =
+    { Types.default_options with Types.migration_prefetch = prefetch }
+  in
+  let mig = ref 0 and touch = ref 0 in
+  ignore
+    (Common.run_popcorn ~opts (fun cluster th ->
+         let eng = Types.eng cluster in
+         let vma =
+           match Api.mmap th ~len:(8 * page) ~prot:K.Vma.prot_rw with
+           | Ok v -> v
+           | Error e -> failwith e
+         in
+         for i = 0 to 7 do
+           match Api.write th ~addr:(vma.K.Vma.start + (i * page)) with
+           | Ok () -> ()
+           | Error e -> failwith e
+         done;
+         let b = Api.migrate th ~dst:8 in
+         mig := b.Migration.total_ns;
+         let t0 = Sim.Engine.now eng in
+         for i = 0 to 7 do
+           match Api.read th ~addr:(vma.K.Vma.start + (i * page)) with
+           | Ok _ -> ()
+           | Error e -> failwith e
+         done;
+         touch := Sim.Engine.now eng - t0));
+  (float_of_int !mig, float_of_int !touch)
+
+let run ?(quick = false) () =
+  ignore quick;
+  let t =
+    Stats.Table.create ~title:"A1: design-choice ablations"
+      ~columns:[ "mechanism"; "metric"; "enabled"; "disabled"; "ratio" ]
+  in
+  let row mech metric on off =
+    Stats.Table.add_row t
+      [
+        mech;
+        metric;
+        Stats.Table.fmt_ns on;
+        Stats.Table.fmt_ns off;
+        Printf.sprintf "%.2fx" (off /. on);
+      ]
+  in
+  row "dummy thread pool" "remote create latency"
+    (remote_create_latency ~use_pool:true)
+    (remote_create_latency ~use_pool:false);
+  row "read replication" "6 readers x 10 reads of hot page"
+    (hot_page_read_time ~replication:true)
+    (hot_page_read_time ~replication:false);
+  let mig_on, touch_on = migration_and_touch ~prefetch:8 in
+  let mig_off, touch_off = migration_and_touch ~prefetch:0 in
+  Stats.Table.add_row t
+    [
+      "migration prefetch (8 pages)";
+      "migration latency";
+      Stats.Table.fmt_ns mig_on;
+      Stats.Table.fmt_ns mig_off;
+      Printf.sprintf "%.2fx" (mig_off /. mig_on);
+    ];
+  Stats.Table.add_row t
+    [
+      "migration prefetch (8 pages)";
+      "post-migration 8-page touch";
+      Stats.Table.fmt_ns touch_on;
+      Stats.Table.fmt_ns touch_off;
+      Printf.sprintf "%.2fx" (touch_off /. touch_on);
+    ];
+  [ t ]

@@ -1,0 +1,48 @@
+(** A2 — Kernel granularity sweep.
+
+    How should a 64-core machine be partitioned? Few big kernels keep more
+    operations message-free but re-grow intra-kernel lock contention; many
+    small kernels eliminate shared structures but push more operations onto
+    the messaging layer and the origin. We sweep 1..64 kernels at fixed
+    machine size on the mm-bound and sync-bound application classes with 64
+    workers — the partitioning trade the replicated-kernel design exposes. *)
+
+module P = Workloads.Loads.Make (Workloads.Adapters.Popcorn_os)
+
+let workers = 64
+let iters ~quick = if quick then 20 else 60
+
+let run_app ~kernels ~quick app =
+  let i = iters ~quick in
+  Common.run_popcorn ~kernels (fun cluster th ->
+      let eng = Popcorn.Types.eng cluster in
+      match app with
+      | `Mm -> P.app_mm_bound eng th ~workers ~iters:i
+      | `Sync -> P.app_sync_bound eng th ~workers ~iters:i
+      | `Cpu -> P.app_cpu_bound eng th ~workers ~iters:i)
+
+let run ?(quick = false) () =
+  let t =
+    Stats.Table.create
+      ~title:
+        "A2: kernel granularity on a 64-core machine (64 workers, work \
+         items/s)"
+      ~columns:[ "kernels x cores"; "cpu-bound"; "mm-bound"; "sync-bound" ]
+  in
+  let configs = if quick then [ 1; 16 ] else [ 1; 2; 4; 8; 16; 32; 64 ] in
+  List.iter
+    (fun kernels ->
+      let work = workers * iters ~quick in
+      let rate app =
+        Stats.Table.fmt_rate
+          (Common.ops_per_sec ~ops:work ~elapsed:(run_app ~kernels ~quick app))
+      in
+      Stats.Table.add_row t
+        [
+          Printf.sprintf "%dx%d" kernels (64 / kernels);
+          rate `Cpu;
+          rate `Mm;
+          rate `Sync;
+        ])
+    configs;
+  [ t ]

@@ -1,0 +1,79 @@
+(** Shared scaffolding for the reproduction experiments.
+
+    Every data point boots a fresh machine (64 cores: 4 sockets x 16, the
+    class of box the paper evaluates on) and a fresh OS instance, runs the
+    workload inside the simulation, and reports simulated time. *)
+
+open Sim
+
+let sockets = 4
+let cores_per_socket = 16
+let total_cores = sockets * cores_per_socket
+
+(** Popcorn kernel granularity for the scalability experiments: 16 kernels
+    x 4 cores. (T1/F4 use smaller explicit configs.) *)
+let default_kernels = 16
+
+let machine ?(seed = 42) () =
+  Hw.Machine.create ~seed ~sockets ~cores_per_socket ()
+
+(** Run [f cluster root_thread] as the main thread of a fresh process on a
+    fresh Popcorn cluster; returns the simulated duration of [f]. *)
+let run_popcorn ?seed ?opts ?(kernels = default_kernels) f : Time.t =
+  let m = machine ?seed () in
+  let cluster =
+    Popcorn.Cluster.boot ?opts m ~kernels
+      ~cores_per_kernel:(total_cores / kernels)
+  in
+  let eng = m.Hw.Machine.eng in
+  let elapsed = ref (-1) in
+  Engine.spawn eng (fun () ->
+      ignore
+        (Popcorn.Api.start_process cluster ~origin:0 (fun th ->
+             let t0 = Engine.now eng in
+             f cluster th;
+             elapsed := Time.sub (Engine.now eng) t0)));
+  Engine.run eng;
+  if !elapsed < 0 then failwith "run_popcorn: workload did not finish";
+  !elapsed
+
+(** Same shape for the SMP-Linux model. *)
+let run_smp ?seed f : Time.t =
+  let m = machine ?seed () in
+  let sys = Smp.Smp_os.boot m in
+  let eng = m.Hw.Machine.eng in
+  let elapsed = ref (-1) in
+  Engine.spawn eng (fun () ->
+      ignore
+        (Smp.Smp_api.start_process sys (fun th ->
+             let t0 = Engine.now eng in
+             f sys th;
+             elapsed := Time.sub (Engine.now eng) t0)));
+  Engine.run eng;
+  if !elapsed < 0 then failwith "run_smp: workload did not finish";
+  !elapsed
+
+(** Multikernel: [f sys ~on_done] must eventually call [on_done]; elapsed
+    is measured from boot of the domain to [on_done]. *)
+let run_mk ?seed f : Time.t =
+  let m = machine ?seed () in
+  let sys = Multikernel.boot m in
+  let eng = m.Hw.Machine.eng in
+  let elapsed = ref (-1) in
+  let t0 = ref 0 in
+  Engine.spawn eng (fun () ->
+      t0 := Engine.now eng;
+      f sys ~on_done:(fun () -> elapsed := Time.sub (Engine.now eng) !t0));
+  Engine.run eng;
+  if !elapsed < 0 then failwith "run_mk: workload did not finish";
+  !elapsed
+
+let ops_per_sec ~ops ~elapsed =
+  if elapsed <= 0 then 0.
+  else float_of_int ops /. (float_of_int elapsed /. 1e9)
+
+let ns f = float_of_int (f : Time.t)
+
+(** Worker-count sweep used by the scalability figures. *)
+let sweep ~quick =
+  if quick then [ 1; 4; 16 ] else [ 1; 2; 4; 8; 16; 32; 64 ]

@@ -1,0 +1,87 @@
+(** F1 — Thread-creation latency vs existing group size.
+
+    Latency of creating one more member of a thread group that already has
+    [m] members, for: SMP clone, Popcorn local clone, Popcorn remote create
+    onto a kernel that already hosts the group ("warm"), and onto a kernel
+    that must first build a replica ("cold"). Existing members are parked
+    on futexes so they occupy no CPU. *)
+
+open Sim
+
+let park_addr i = 0x800000 + (i * 64)
+
+(* Group of [m] parked members, then time one creation. *)
+let popcorn_case ~m ~mode : Time.t =
+  let result = ref 0 in
+  ignore
+    (Common.run_popcorn ~kernels:16 (fun _cluster th ->
+         let open Popcorn in
+         for i = 1 to m do
+           (* Spread pre-existing members over the first 8 kernels. *)
+           let target = match mode with `Local -> 0 | _ -> i mod 8 in
+           ignore
+             (Api.spawn th ~target (fun child ->
+                  match Api.futex_wait child ~addr:(park_addr i) () with
+                  | Api.Woken | Api.Timed_out -> ()))
+         done;
+         Api.compute th (Time.ms 1);
+         (* Warm: kernel 1 already hosts members (i mod 8 = 1). Cold:
+            kernel 15 was never touched. *)
+         let target =
+           match mode with `Local -> 0 | `Warm -> 1 | `Cold -> 15
+         in
+         let t0 = Engine.now (Types.eng th.Api.cluster) in
+         ignore (Api.spawn th ~target (fun child -> Api.compute child (Time.us 1)));
+         result := Time.sub (Engine.now (Types.eng th.Api.cluster)) t0;
+         (* Unpark everyone so the process exits. *)
+         for i = 1 to m do
+           ignore (Api.futex_wake th ~addr:(park_addr i) ~count:1)
+         done));
+  !result
+
+let smp_case ~m : Time.t =
+  let result = ref 0 in
+  ignore
+    (Common.run_smp (fun sys th ->
+         let open Smp in
+         for i = 1 to m do
+           ignore
+             (Smp_api.spawn th (fun child ->
+                  match Smp_api.futex_wait child ~addr:(park_addr i) () with
+                  | Smp_api.Woken | Smp_api.Timed_out -> ()))
+         done;
+         Smp_api.compute th (Time.ms 1);
+         let t0 = Engine.now (Smp_os.eng sys) in
+         ignore (Smp_api.spawn th (fun child -> Smp_api.compute child (Time.us 1)));
+         result := Time.sub (Engine.now (Smp_os.eng sys)) t0;
+         for i = 1 to m do
+           ignore (Smp_api.futex_wake th ~addr:(park_addr i) ~count:1)
+         done));
+  !result
+
+let run ?(quick = false) () =
+  let t =
+    Stats.Table.create
+      ~title:"F1: thread creation latency vs existing group size"
+      ~columns:
+        [
+          "group size";
+          "SMP clone";
+          "Popcorn local";
+          "Popcorn remote (warm)";
+          "Popcorn remote (cold)";
+        ]
+  in
+  let sizes = if quick then [ 1; 8 ] else [ 1; 2; 4; 8; 16; 32; 64 ] in
+  List.iter
+    (fun m ->
+      Stats.Table.add_row t
+        [
+          string_of_int m;
+          Stats.Table.fmt_ns (Common.ns (smp_case ~m));
+          Stats.Table.fmt_ns (Common.ns (popcorn_case ~m ~mode:`Local));
+          Stats.Table.fmt_ns (Common.ns (popcorn_case ~m ~mode:`Warm));
+          Stats.Table.fmt_ns (Common.ns (popcorn_case ~m ~mode:`Cold));
+        ])
+    sizes;
+  [ t ]

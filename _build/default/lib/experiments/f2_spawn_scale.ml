@@ -1,0 +1,42 @@
+(** F2 — Thread-creation throughput vs concurrent spawners.
+
+    [n] threads of one group, spread over the machine, each create 50
+    short-lived members as fast as they can. SMP serialises on the task
+    list lock and mm counters; Popcorn partitions creation across kernels;
+    the multikernel spawns dispatchers (its non-transparent equivalent). *)
+
+module P = Workloads.Loads.Make (Workloads.Adapters.Popcorn_os)
+module S = Workloads.Loads.Make (Workloads.Adapters.Smp_os)
+
+let per_spawner = 50
+
+let popcorn n =
+  Common.run_popcorn (fun cluster th ->
+      P.spawn_storm (Popcorn.Types.eng cluster) th ~spawners:n ~per_spawner)
+
+let smp n =
+  Common.run_smp (fun sys th ->
+      S.spawn_storm (Smp.Smp_os.eng sys) th ~spawners:n ~per_spawner)
+
+let mk n =
+  Common.run_mk (fun sys ~on_done ->
+      ignore
+        (Workloads.Mk_workloads.spawn_storm sys
+           sys.Multikernel.machine.Hw.Machine.eng ~cores:Common.total_cores
+           ~spawners:n ~per_spawner ~on_done))
+
+let run ?(quick = false) () =
+  let t =
+    Stats.Table.create
+      ~title:
+        "F2: thread-creation throughput (creations/s) vs concurrent spawners"
+      ~columns:[ "spawners"; "SMP Linux"; "Popcorn"; "Multikernel" ]
+  in
+  List.iter
+    (fun n ->
+      let ops = n * per_spawner in
+      let rate f = Stats.Table.fmt_rate (Common.ops_per_sec ~ops ~elapsed:(f n)) in
+      Stats.Table.add_row t
+        [ string_of_int n; rate smp; rate popcorn; rate mk ])
+    (Common.sweep ~quick);
+  [ t ]

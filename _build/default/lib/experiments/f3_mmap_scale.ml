@@ -1,0 +1,45 @@
+(** F3 — Concurrent mmap/munmap throughput vs cores.
+
+    [n] threads of one group each run map-touch-unmap cycles. SMP Linux
+    serialises every cycle on the process's mmap_sem (plus TLB shootdown
+    IPIs to all cores running the process); Popcorn serialises only at the
+    origin's local lock with replica pushes overlapping. A single-kernel
+    Popcorn configuration is included as an ablation: it shows the win
+    comes from replication, not from other modelling differences. *)
+
+module P = Workloads.Loads.Make (Workloads.Adapters.Popcorn_os)
+module S = Workloads.Loads.Make (Workloads.Adapters.Smp_os)
+
+let ops = 50
+let pages = 4
+
+let popcorn ?kernels n =
+  Common.run_popcorn ?kernels (fun cluster th ->
+      P.mmap_stress (Popcorn.Types.eng cluster) th ~workers:n ~ops ~pages)
+
+let smp n =
+  Common.run_smp (fun sys th ->
+      S.mmap_stress (Smp.Smp_os.eng sys) th ~workers:n ~ops ~pages)
+
+let run ?(quick = false) () =
+  let t =
+    Stats.Table.create
+      ~title:"F3: mmap+touch+munmap cycles/s vs concurrent threads"
+      ~columns:
+        [ "threads"; "SMP Linux"; "Popcorn (16 kernels)"; "Popcorn (1 kernel)" ]
+  in
+  List.iter
+    (fun n ->
+      let total = n * ops in
+      let rate f =
+        Stats.Table.fmt_rate (Common.ops_per_sec ~ops:total ~elapsed:(f n))
+      in
+      Stats.Table.add_row t
+        [
+          string_of_int n;
+          rate smp;
+          rate (popcorn ~kernels:16);
+          rate (popcorn ~kernels:1);
+        ])
+    (Common.sweep ~quick);
+  [ t ]

@@ -1,0 +1,147 @@
+(** F4 — Page-fault service latency under the coherence protocol.
+
+    Per-page latency for the fault classes the protocol distinguishes:
+    local first touch, remote first touch (directory registration at the
+    origin), remote read of dirty pages (downgrade + replicate), write
+    upgrade (invalidate readers), and the invalidation cost as the reader
+    set grows. SMP's local fault is the baseline row. *)
+
+open Sim
+open Popcorn
+
+let pages = 64
+let page = 4096
+
+(* Time [walk] pages of a fresh mapping under [f]; returns per-page ns. *)
+let per_page eng thunk =
+  let t0 = Engine.now eng in
+  thunk ();
+  float_of_int (Time.sub (Engine.now eng) t0) /. float_of_int pages
+
+let write_all th base =
+  for i = 0 to pages - 1 do
+    match Api.write th ~addr:(base + (i * page)) with
+    | Ok () -> ()
+    | Error e -> failwith e
+  done
+
+let read_all th base =
+  for i = 0 to pages - 1 do
+    match Api.read th ~addr:(base + (i * page)) with
+    | Ok _ -> ()
+    | Error e -> failwith e
+  done
+
+type results = {
+  mutable local_touch : float;
+  mutable remote_touch : float;
+  mutable remote_read_dirty : float;
+  mutable upgrade : float;
+}
+
+let popcorn_cases () =
+  let r =
+    { local_touch = 0.; remote_touch = 0.; remote_read_dirty = 0.; upgrade = 0. }
+  in
+  ignore
+    (Common.run_popcorn ~kernels:16 (fun cluster th ->
+         let eng = Types.eng cluster in
+         let map () =
+           match Api.mmap th ~len:(pages * page) ~prot:Kernelmodel.Vma.prot_rw with
+           | Ok v -> v.Kernelmodel.Vma.start
+           | Error e -> failwith e
+         in
+         (* a) local first touch at the origin. *)
+         let a = map () in
+         r.local_touch <- per_page eng (fun () -> write_all th a);
+         (* b) remote first touch; c) remote read of origin-dirty pages;
+            d) origin write-upgrade afterwards (invalidates the reader). *)
+         let b = map () and c = map () in
+         write_all th c;
+         let latch = Workloads.Latch.create eng 1 in
+         ignore
+           (Api.spawn th ~target:8 (fun child ->
+                r.remote_touch <- per_page eng (fun () -> write_all child b);
+                r.remote_read_dirty <-
+                  per_page eng (fun () -> read_all child c);
+                Workloads.Latch.arrive latch));
+         Workloads.Latch.wait latch;
+         (* d) the origin re-acquires write ownership of [c]: every page is
+            read-replicated on kernel 8 and owned nowhere writable. *)
+         r.upgrade <- per_page eng (fun () -> write_all th c)));
+  r
+
+let smp_local_touch () =
+  let result = ref 0. in
+  ignore
+    (Common.run_smp (fun sys th ->
+         let eng = Smp.Smp_os.eng sys in
+         let base =
+           match Smp.Smp_api.mmap th ~len:(pages * page) ~prot:Kernelmodel.Vma.prot_rw with
+           | Ok v -> v.Kernelmodel.Vma.start
+           | Error e -> failwith e
+         in
+         result :=
+           per_page eng (fun () ->
+               for i = 0 to pages - 1 do
+                 match Smp.Smp_api.write th ~addr:(base + (i * page)) with
+                 | Ok () -> ()
+                 | Error e -> failwith e
+               done)));
+  !result
+
+(* Invalidation fan-out: [readers] kernels replicate a page, then the
+   origin writes it. *)
+let invalidation_cost ~readers =
+  let result = ref 0. in
+  ignore
+    (Common.run_popcorn ~kernels:16 (fun cluster th ->
+         let eng = Types.eng cluster in
+         let base =
+           match Api.mmap th ~len:page ~prot:Kernelmodel.Vma.prot_rw with
+           | Ok v -> v.Kernelmodel.Vma.start
+           | Error e -> failwith e
+         in
+         (match Api.write th ~addr:base with Ok () -> () | Error e -> failwith e);
+         let latch = Workloads.Latch.create eng readers in
+         for k = 1 to readers do
+           ignore
+             (Api.spawn th ~target:k (fun child ->
+                  (match Api.read child ~addr:base with
+                  | Ok _ -> ()
+                  | Error e -> failwith e);
+                  Workloads.Latch.arrive latch))
+         done;
+         Workloads.Latch.wait latch;
+         let t0 = Engine.now eng in
+         (match Api.write th ~addr:base with Ok () -> () | Error e -> failwith e);
+         result := float_of_int (Time.sub (Engine.now eng) t0)));
+  !result
+
+let run ?(quick = false) () =
+  let r = popcorn_cases () in
+  let t =
+    Stats.Table.create ~title:"F4a: page-fault service latency (per page)"
+      ~columns:[ "fault class"; "latency" ]
+  in
+  let add name v = Stats.Table.add_row t [ name; Stats.Table.fmt_ns v ] in
+  add "SMP local first touch" (smp_local_touch ());
+  add "Popcorn local first touch (origin)" r.local_touch;
+  add "Popcorn remote first touch" r.remote_touch;
+  add "Popcorn remote read of dirty page" r.remote_read_dirty;
+  add "Popcorn write upgrade (1 reader inval)" r.upgrade;
+  let inval =
+    Stats.Table.create
+      ~title:"F4b: write-fault latency vs read-replica count (invalidation fan-out)"
+      ~columns:[ "readers"; "latency" ]
+  in
+  let counts = if quick then [ 1; 8 ] else [ 1; 2; 4; 8; 15 ] in
+  List.iter
+    (fun readers ->
+      Stats.Table.add_row inval
+        [
+          string_of_int readers;
+          Stats.Table.fmt_ns (invalidation_cost ~readers);
+        ])
+    counts;
+  [ t; inval ]

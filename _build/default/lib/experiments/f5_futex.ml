@@ -1,0 +1,114 @@
+(** F5 — Futex latency and contended throughput.
+
+    Wake-to-resume latency for a waiter on the same kernel vs a waiter on
+    another kernel (through the origin's global futex queue) vs SMP; then
+    ping-pong round-trip throughput as pairs scale across the machine. *)
+
+open Sim
+module P = Workloads.Loads.Make (Workloads.Adapters.Popcorn_os)
+module S = Workloads.Loads.Make (Workloads.Adapters.Smp_os)
+
+let addr = 0x800000
+
+(* Latency from the wake syscall to the waiter actually resuming. *)
+let popcorn_wake_latency ~remote : float =
+  let result = ref 0. in
+  ignore
+    (Common.run_popcorn ~kernels:16 (fun cluster th ->
+         let open Popcorn in
+         let eng = Types.eng cluster in
+         let woke_at = ref 0 in
+         let latch = Workloads.Latch.create eng 1 in
+         let target = if remote then 8 else 0 in
+         ignore
+           (Api.spawn th ~target (fun child ->
+                (match Api.futex_wait child ~addr () with
+                | Api.Woken -> woke_at := Engine.now eng
+                | Api.Timed_out -> failwith "timeout");
+                Workloads.Latch.arrive latch));
+         Api.compute th (Time.ms 1);
+         let t0 = Engine.now eng in
+         let rec wake () =
+           if Api.futex_wake th ~addr ~count:1 = 0 then begin
+             Api.compute th (Time.us 10);
+             wake ()
+           end
+         in
+         wake ();
+         Workloads.Latch.wait latch;
+         result := float_of_int (Time.sub !woke_at t0)));
+  !result
+
+let smp_wake_latency () : float =
+  let result = ref 0. in
+  ignore
+    (Common.run_smp (fun sys th ->
+         let open Smp in
+         let eng = Smp_os.eng sys in
+         let woke_at = ref 0 in
+         let latch = Workloads.Latch.create eng 1 in
+         ignore
+           (Smp_api.spawn th (fun child ->
+                (match Smp_api.futex_wait child ~addr () with
+                | Smp_api.Woken -> woke_at := Engine.now eng
+                | Smp_api.Timed_out -> failwith "timeout");
+                Workloads.Latch.arrive latch));
+         Smp_api.compute th (Time.ms 1);
+         let t0 = Engine.now eng in
+         let rec wake () =
+           if Smp_api.futex_wake th ~addr ~count:1 = 0 then begin
+             Smp_api.compute th (Time.us 10);
+             wake ()
+           end
+         in
+         wake ();
+         Workloads.Latch.wait latch;
+         result := float_of_int (Time.sub !woke_at t0)));
+  !result
+
+let rounds = 50
+
+let popcorn_pingpong pairs =
+  Common.run_popcorn (fun cluster th ->
+      P.futex_pingpong (Popcorn.Types.eng cluster) th ~pairs ~rounds)
+
+let smp_pingpong pairs =
+  Common.run_smp (fun sys th ->
+      S.futex_pingpong (Smp.Smp_os.eng sys) th ~pairs ~rounds)
+
+let run ?(quick = false) () =
+  let lat =
+    Stats.Table.create ~title:"F5a: futex wake-to-resume latency"
+      ~columns:[ "configuration"; "latency" ]
+  in
+  Stats.Table.add_row lat
+    [ "SMP Linux"; Stats.Table.fmt_ns (smp_wake_latency ()) ];
+  Stats.Table.add_row lat
+    [
+      "Popcorn, waiter on same kernel";
+      Stats.Table.fmt_ns (popcorn_wake_latency ~remote:false);
+    ];
+  Stats.Table.add_row lat
+    [
+      "Popcorn, waiter cross-kernel";
+      Stats.Table.fmt_ns (popcorn_wake_latency ~remote:true);
+    ];
+  let thr =
+    Stats.Table.create
+      ~title:"F5b: futex ping-pong round trips/s vs pairs"
+      ~columns:[ "pairs"; "SMP Linux"; "Popcorn" ]
+  in
+  let pair_counts = if quick then [ 1; 8 ] else [ 1; 2; 4; 8; 16; 32 ] in
+  List.iter
+    (fun pairs ->
+      let total = pairs * rounds in
+      Stats.Table.add_row thr
+        [
+          string_of_int pairs;
+          Stats.Table.fmt_rate
+            (Common.ops_per_sec ~ops:total ~elapsed:(smp_pingpong pairs));
+          Stats.Table.fmt_rate
+            (Common.ops_per_sec ~ops:total ~elapsed:(popcorn_pingpong pairs));
+        ])
+    pair_counts;
+  [ lat; thr ]

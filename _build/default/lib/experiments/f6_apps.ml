@@ -1,0 +1,81 @@
+(** F6 — Application benchmark scalability: Popcorn vs SMP Linux vs the
+    multikernel, on three application classes (CPU-bound, memory-
+    management-bound, synchronisation-bound). This is the experiment behind
+    the abstract's headline: Popcorn competitive with SMP Linux and up to
+    ~40% faster where shared kernel structures dominate, scaling like a
+    multikernel. *)
+
+module P = Workloads.Loads.Make (Workloads.Adapters.Popcorn_os)
+module S = Workloads.Loads.Make (Workloads.Adapters.Smp_os)
+module Mk = Workloads.Mk_workloads
+
+type app = Cpu | Mm | Sync | Comm
+
+let app_name = function
+  | Cpu -> "cpu-bound"
+  | Mm -> "mm-bound"
+  | Sync -> "sync-bound"
+  | Comm -> "comm-bound"
+
+let iters ~quick = if quick then 20 else 100
+
+let popcorn app ~quick n =
+  let i = iters ~quick in
+  Common.run_popcorn (fun cluster th ->
+      let eng = Popcorn.Types.eng cluster in
+      match app with
+      | Cpu -> P.app_cpu_bound eng th ~workers:n ~iters:i
+      | Mm -> P.app_mm_bound eng th ~workers:n ~iters:i
+      | Sync -> P.app_sync_bound eng th ~workers:n ~iters:i
+      | Comm -> P.app_comm_bound eng th ~workers:n ~iters:i)
+
+let smp app ~quick n =
+  let i = iters ~quick in
+  Common.run_smp (fun sys th ->
+      let eng = Smp.Smp_os.eng sys in
+      match app with
+      | Cpu -> S.app_cpu_bound eng th ~workers:n ~iters:i
+      | Mm -> S.app_mm_bound eng th ~workers:n ~iters:i
+      | Sync -> S.app_sync_bound eng th ~workers:n ~iters:i
+      | Comm -> S.app_comm_bound eng th ~workers:n ~iters:i)
+
+let mk app ~quick n =
+  let i = iters ~quick in
+  Common.run_mk (fun sys ~on_done ->
+      let eng = sys.Multikernel.machine.Hw.Machine.eng in
+      let cores = Common.total_cores in
+      match app with
+      | Cpu -> ignore (Mk.app_cpu_bound sys eng ~cores ~workers:n ~iters:i ~on_done)
+      | Mm -> ignore (Mk.app_mm_bound sys eng ~cores ~workers:n ~iters:i ~on_done)
+      | Sync -> ignore (Mk.app_sync_bound sys eng ~cores ~workers:n ~iters:i ~on_done)
+      | Comm -> ignore (Mk.app_comm_bound sys eng ~cores ~workers:n ~iters:i ~on_done))
+
+let table app ~quick =
+  let t =
+    Stats.Table.create
+      ~title:
+        (Printf.sprintf
+           "F6 (%s): work items/s vs workers (higher is better)"
+           (app_name app))
+      ~columns:
+        [ "workers"; "SMP Linux"; "Popcorn"; "Multikernel"; "Popcorn/SMP" ]
+  in
+  List.iter
+    (fun n ->
+      let work = n * iters ~quick in
+      let s = Common.ops_per_sec ~ops:work ~elapsed:(smp app ~quick n) in
+      let p = Common.ops_per_sec ~ops:work ~elapsed:(popcorn app ~quick n) in
+      let m = Common.ops_per_sec ~ops:work ~elapsed:(mk app ~quick n) in
+      Stats.Table.add_row t
+        [
+          string_of_int n;
+          Stats.Table.fmt_rate s;
+          Stats.Table.fmt_rate p;
+          Stats.Table.fmt_rate m;
+          (if s > 0. then Printf.sprintf "%.2fx" (p /. s) else "-");
+        ])
+    (Common.sweep ~quick);
+  t
+
+let run ?(quick = false) () =
+  [ table Cpu ~quick; table Mm ~quick; table Sync ~quick; table Comm ~quick ]

@@ -1,0 +1,94 @@
+(** F7 — Process-creation scalability (fork/exit storm).
+
+    A shell-like parent spreads worker threads over the machine; each
+    worker forks short-lived child processes (map two pages, touch them,
+    exit) in a loop. SMP serialises forks on the global pid allocator and
+    task-list lock; every kernel in the replicated-kernel OS owns a pid
+    slice and forks entirely locally. Reaping is on, as in a real system. *)
+
+module K = Kernelmodel
+
+let page = 4096
+let forks_each = 10
+
+let child_body read_ write_ mmap_ munmap_ th =
+  match mmap_ th with
+  | Error e -> failwith e
+  | Ok start ->
+      (match write_ th start with Ok () -> () | Error e -> failwith e);
+      (match read_ th start with Ok _ -> () | Error e -> failwith e);
+      (match munmap_ th start with Ok () -> () | Error e -> failwith e)
+
+let popcorn n =
+  let opts = { Popcorn.Types.default_options with Popcorn.Types.reap_on_exit = true } in
+  Common.run_popcorn ~opts (fun cluster th ->
+      let open Popcorn in
+      let eng = Types.eng cluster in
+      let latch = Workloads.Latch.create eng n in
+      for i = 0 to n - 1 do
+        ignore
+          (Api.spawn th ~target:(i mod 16) (fun worker ->
+               for _ = 1 to forks_each do
+                 let child =
+                   Api.fork worker
+                     (child_body
+                        (fun t a -> Api.read t ~addr:a)
+                        (fun t a -> Api.write t ~addr:a)
+                        (fun t ->
+                          Result.map
+                            (fun (v : K.Vma.vma) -> v.K.Vma.start)
+                            (Api.mmap t ~len:(2 * page) ~prot:K.Vma.prot_rw))
+                        (fun t a -> Api.munmap t ~start:a ~len:(2 * page)))
+                 in
+                 Api.wait_exit worker.Api.cluster child
+               done;
+               Workloads.Latch.arrive latch))
+      done;
+      Workloads.Latch.wait latch)
+
+let smp n =
+  Common.run_smp (fun sys th ->
+      let open Smp in
+      let eng = Smp_os.eng sys in
+      let latch = Workloads.Latch.create eng n in
+      for _ = 1 to n do
+        ignore
+          (Smp_api.spawn th (fun worker ->
+               for _ = 1 to forks_each do
+                 let child =
+                   Smp_api.fork worker
+                     (child_body
+                        (fun t a -> Smp_api.read t ~addr:a)
+                        (fun t a -> Smp_api.write t ~addr:a)
+                        (fun t ->
+                          Result.map
+                            (fun (v : K.Vma.vma) -> v.K.Vma.start)
+                            (Smp_api.mmap t ~len:(2 * page) ~prot:K.Vma.prot_rw))
+                        (fun t a -> Smp_api.munmap t ~start:a ~len:(2 * page)))
+                 in
+                 Smp_api.wait_exit sys child
+               done;
+               Workloads.Latch.arrive latch))
+      done;
+      Workloads.Latch.wait latch)
+
+let run ?(quick = false) () =
+  let t =
+    Stats.Table.create
+      ~title:"F7: process lifecycles/s (fork+map+touch+exit) vs forkers"
+      ~columns:[ "forkers"; "SMP Linux"; "Popcorn"; "Popcorn/SMP" ]
+  in
+  List.iter
+    (fun n ->
+      let ops = n * forks_each in
+      let s = Common.ops_per_sec ~ops ~elapsed:(smp n) in
+      let p = Common.ops_per_sec ~ops ~elapsed:(popcorn n) in
+      Stats.Table.add_row t
+        [
+          string_of_int n;
+          Stats.Table.fmt_rate s;
+          Stats.Table.fmt_rate p;
+          Printf.sprintf "%.2fx" (p /. s);
+        ])
+    (Common.sweep ~quick);
+  [ t ]

@@ -1,0 +1,73 @@
+(** Experiment registry: maps stable experiment ids to runners. *)
+
+type t = {
+  id : string;
+  title : string;
+  run : ?quick:bool -> unit -> Stats.Table.t list;
+}
+
+let all : t list =
+  [
+    {
+      id = "T1";
+      title = "Thread migration cost breakdown";
+      run = T1_migration.run;
+    };
+    {
+      id = "T2";
+      title = "Messaging layer latency/throughput";
+      run = T2_messaging.run;
+    };
+    {
+      id = "F1";
+      title = "Thread creation latency vs group size";
+      run = F1_thread_create.run;
+    };
+    {
+      id = "F2";
+      title = "Thread creation throughput scalability";
+      run = F2_spawn_scale.run;
+    };
+    {
+      id = "F3";
+      title = "mmap/munmap throughput scalability";
+      run = F3_mmap_scale.run;
+    };
+    { id = "F4"; title = "Page fault service latency"; run = F4_page_fault.run };
+    { id = "F5"; title = "Futex latency and throughput"; run = F5_futex.run };
+    {
+      id = "F6";
+      title = "Application scalability (Popcorn vs SMP vs multikernel)";
+      run = F6_apps.run;
+    };
+    {
+      id = "F7";
+      title = "Process creation scalability (fork storm)";
+      run = F7_processes.run;
+    };
+    {
+      id = "T3";
+      title = "Remote syscall forwarding (SSI file I/O)";
+      run = T3_syscalls.run;
+    };
+    {
+      id = "A1";
+      title = "Design-choice ablations (pool, replication, prefetch)";
+      run = A1_ablations.run;
+    };
+    {
+      id = "A2";
+      title = "Kernel granularity sweep (partitioning trade-off)";
+      run = A2_granularity.run;
+    };
+  ]
+
+let find id =
+  List.find_opt (fun e -> String.lowercase_ascii e.id = String.lowercase_ascii id) all
+
+let run_one ?quick (e : t) =
+  Printf.printf "\n### %s — %s\n\n%!" e.id e.title;
+  let tables = e.run ?quick () in
+  List.iter (fun t -> print_string (Stats.Table.render t); print_newline ()) tables
+
+let run_all ?quick () = List.iter (run_one ?quick) all

@@ -1,0 +1,66 @@
+(** T1 — Thread-migration cost breakdown.
+
+    Reproduces the paper's migration-cost table: one thread migrates
+    between kernels; we decompose the latency into context save, messaging,
+    destination-side import, and schedule-in, for four scenarios (same vs
+    cross socket, with/without FPU state) plus the dummy-thread-pool
+    ablation. *)
+
+open Popcorn
+
+let scenario ?opts ~dst ~fpu () =
+  (* 16 kernels x 4 cores on a 4x16 machine: kernel 1 shares a socket with
+     kernel 0; kernel 8 is two sockets away. *)
+  let result = ref None in
+  ignore
+    (Common.run_popcorn ?opts ~kernels:16 (fun _cluster th ->
+         if fpu then
+           th.Api.task.Kernelmodel.Task.ctx <-
+             Kernelmodel.Context.touch_fpu
+               (Sim.Engine.rng (Types.eng th.Api.cluster))
+               th.Api.task.Kernelmodel.Task.ctx;
+         Api.compute th (Sim.Time.us 5);
+         let b = Api.migrate th ~dst in
+         result := Some b));
+  match !result with Some b -> b | None -> assert false
+
+let run ?(quick = false) () =
+  ignore quick;
+  let t =
+    Stats.Table.create
+      ~title:
+        "T1: thread migration cost breakdown (one migration, 16-kernel \
+         cluster)"
+      ~columns:
+        [ "scenario"; "save ctx"; "messaging"; "import"; "sched-in"; "total" ]
+  in
+  let add name (b : Migration.breakdown) =
+    Stats.Table.add_row t
+      [
+        name;
+        Stats.Table.fmt_ns (float_of_int b.Migration.save_ctx_ns);
+        Stats.Table.fmt_ns (float_of_int b.Migration.messaging_ns);
+        Stats.Table.fmt_ns (float_of_int b.Migration.import_ns);
+        Stats.Table.fmt_ns (float_of_int b.Migration.schedule_in_ns);
+        Stats.Table.fmt_ns (float_of_int b.Migration.total_ns);
+      ]
+  in
+  add "same socket, no FPU" (scenario ~dst:1 ~fpu:false ());
+  add "same socket, FPU" (scenario ~dst:1 ~fpu:true ());
+  add "cross socket, no FPU" (scenario ~dst:8 ~fpu:false ());
+  add "cross socket, FPU" (scenario ~dst:8 ~fpu:true ());
+  let no_pool =
+    { Types.default_options with Types.use_dummy_pool = false }
+  in
+  add "cross socket, no dummy pool (ablation)"
+    (scenario ~opts:no_pool ~dst:8 ~fpu:false ());
+  let het =
+    {
+      Types.default_options with
+      Types.arch_of_kernel =
+        (fun k -> if k >= 8 then Types.Arm64 else Types.X86_64);
+    }
+  in
+  add "cross ISA, no FPU (heterogeneous extension)"
+    (scenario ~opts:het ~dst:8 ~fpu:false ());
+  [ t ]

@@ -1,0 +1,90 @@
+(** T2 — Messaging-layer microbenchmark.
+
+    One-way latency vs message size, and aggregate throughput vs number of
+    concurrent senders, over the shared-memory ring + IPI-doorbell
+    transport (the substrate every Popcorn protocol rides on). *)
+
+open Sim
+
+type proto = Ping of { seq : int } | Done
+
+let one_way_latency ~bytes ~cross_socket : Time.t =
+  let m = Common.machine () in
+  let eng = m.Hw.Machine.eng in
+  let received = ref (-1) in
+  let sent_at = ref 0 in
+  let fabric =
+    Msg.Transport.create m ~ring_slots:64
+      ~handler:(fun _t ~dst:_ ~src:_ -> function
+      | Ping _ -> received := Time.sub (Engine.now eng) !sent_at
+      | Done -> ())
+  in
+  Msg.Transport.add_node fabric 0 ~home_core:0;
+  Msg.Transport.add_node fabric 1
+    ~home_core:(if cross_socket then Common.cores_per_socket else 1);
+  Engine.spawn eng (fun () ->
+      sent_at := Engine.now eng;
+      Msg.Transport.send fabric ~src:0 ~dst:1 ~bytes (Ping { seq = 0 }));
+  Engine.run eng;
+  assert (!received >= 0);
+  !received
+
+let throughput ~senders ~msgs_each ~bytes : float =
+  let m = Common.machine () in
+  let eng = m.Hw.Machine.eng in
+  let delivered = ref 0 in
+  let fabric =
+    Msg.Transport.create m ~ring_slots:256
+      ~handler:(fun _t ~dst:_ ~src:_ -> function
+      | Ping _ -> incr delivered
+      | Done -> ())
+  in
+  (* Receiver on core 0 of socket 0; senders spread over remaining cores. *)
+  Msg.Transport.add_node fabric 0 ~home_core:0;
+  for s = 1 to senders do
+    Msg.Transport.add_node fabric s ~home_core:(s mod Common.total_cores)
+  done;
+  let t0 = ref 0 and t1 = ref 0 in
+  for s = 1 to senders do
+    Engine.spawn eng (fun () ->
+        if !t0 = 0 then t0 := Engine.now eng;
+        for i = 1 to msgs_each do
+          Msg.Transport.send fabric ~src:s ~dst:0 ~bytes (Ping { seq = i })
+        done;
+        t1 := max !t1 (Engine.now eng))
+  done;
+  Engine.run eng;
+  (* Throughput over the full drain interval. *)
+  Common.ops_per_sec ~ops:!delivered ~elapsed:(Engine.now eng - !t0)
+
+let run ?(quick = false) () =
+  let lat =
+    Stats.Table.create ~title:"T2a: messaging one-way latency vs size"
+      ~columns:[ "size (B)"; "same socket"; "cross socket" ]
+  in
+  let sizes = if quick then [ 64; 4096 ] else [ 64; 256; 1024; 4096 ] in
+  List.iter
+    (fun bytes ->
+      Stats.Table.add_row lat
+        [
+          string_of_int bytes;
+          Stats.Table.fmt_ns (Common.ns (one_way_latency ~bytes ~cross_socket:false));
+          Stats.Table.fmt_ns (Common.ns (one_way_latency ~bytes ~cross_socket:true));
+        ])
+    sizes;
+  let thr =
+    Stats.Table.create
+      ~title:"T2b: messaging throughput vs concurrent senders (64B)"
+      ~columns:[ "senders"; "delivered msgs/s" ]
+  in
+  let senders = if quick then [ 1; 8 ] else [ 1; 2; 4; 8; 16; 32; 63 ] in
+  let msgs_each = if quick then 200 else 1000 in
+  List.iter
+    (fun s ->
+      Stats.Table.add_row thr
+        [
+          string_of_int s;
+          Stats.Table.fmt_rate (throughput ~senders:s ~msgs_each ~bytes:64);
+        ])
+    senders;
+  [ lat; thr ]

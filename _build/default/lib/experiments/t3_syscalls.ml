@@ -1,0 +1,107 @@
+(** T3 — Remote-syscall forwarding (single-system-image file I/O).
+
+    File operations are served by the device-owning kernel; a thread
+    elsewhere pays one messaging round trip per syscall. This experiment
+    measures the forwarding tax per operation class and the throughput of
+    the single VFS server as clients spread across kernels — the
+    serialisation the SSI design accepts for device state. *)
+
+open Popcorn
+module K = Kernelmodel
+
+let op_latencies ~target =
+  let results = ref [] in
+  ignore
+    (Common.run_popcorn ~kernels:16 (fun cluster th ->
+         let eng = Types.eng cluster in
+         let timed name f =
+           let t0 = Sim.Engine.now eng in
+           (match f () with Ok _ -> () | Error e -> failwith e);
+           results := (name, float_of_int (Sim.Engine.now eng - t0)) :: !results
+         in
+         let run_on worker =
+           let fd = ref 0 in
+           timed "open" (fun () ->
+               match Api.open_file worker ~path:"/bench" with
+               | Ok f ->
+                   fd := f;
+                   Ok f
+               | Error e -> Error e);
+           timed "write 4KiB" (fun () -> Api.file_write worker ~fd:!fd ~len:4096);
+           (match Api.file_seek worker ~fd:!fd ~pos:0 with
+           | Ok _ -> ()
+           | Error e -> failwith e);
+           timed "read 4KiB" (fun () -> Api.file_read worker ~fd:!fd ~len:4096);
+           timed "close" (fun () ->
+               Result.map (fun () -> 0) (Api.close_file worker ~fd:!fd))
+         in
+         if target = 0 then run_on th
+         else begin
+           let latch = Workloads.Latch.create eng 1 in
+           ignore
+             (Api.spawn th ~target (fun worker ->
+                  run_on worker;
+                  Workloads.Latch.arrive latch));
+           Workloads.Latch.wait latch
+         end));
+  List.rev !results
+
+let server_throughput ~clients ~ops_each =
+  let elapsed =
+    Common.run_popcorn ~kernels:16 (fun cluster th ->
+        let eng = Types.eng cluster in
+        let latch = Workloads.Latch.create eng clients in
+        for c = 0 to clients - 1 do
+          ignore
+            (Api.spawn th ~target:(c mod 16) (fun worker ->
+                 let fd =
+                   match
+                     Api.open_file worker ~path:(Printf.sprintf "/f%d" c)
+                   with
+                   | Ok f -> f
+                   | Error e -> failwith e
+                 in
+                 for _ = 1 to ops_each do
+                   match Api.file_write worker ~fd ~len:512 with
+                   | Ok _ -> ()
+                   | Error e -> failwith e
+                 done;
+                 Workloads.Latch.arrive latch))
+        done;
+        Workloads.Latch.wait latch)
+  in
+  Common.ops_per_sec ~ops:(clients * ops_each) ~elapsed
+
+let run ?(quick = false) () =
+  let lat =
+    Stats.Table.create
+      ~title:"T3a: file syscall latency — local vs forwarded"
+      ~columns:[ "operation"; "local (k0)"; "remote (k8)"; "tax" ]
+  in
+  let local = op_latencies ~target:0 and remote = op_latencies ~target:8 in
+  List.iter2
+    (fun (name, l) (_, r) ->
+      Stats.Table.add_row lat
+        [
+          name;
+          Stats.Table.fmt_ns l;
+          Stats.Table.fmt_ns r;
+          Printf.sprintf "%.1fx" (r /. l);
+        ])
+    local remote;
+  let thr =
+    Stats.Table.create
+      ~title:"T3b: VFS server throughput (512B writes/s) vs clients"
+      ~columns:[ "clients"; "writes/s" ]
+  in
+  let counts = if quick then [ 1; 8 ] else [ 1; 2; 4; 8; 16; 32 ] in
+  let ops_each = if quick then 50 else 200 in
+  List.iter
+    (fun clients ->
+      Stats.Table.add_row thr
+        [
+          string_of_int clients;
+          Stats.Table.fmt_rate (server_throughput ~clients ~ops_each);
+        ])
+    counts;
+  [ lat; thr ]

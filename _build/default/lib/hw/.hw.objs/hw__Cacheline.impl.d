@@ -1,0 +1,1 @@
+lib/hw/cacheline.ml: Engine Params Sim Time Topology Waitq

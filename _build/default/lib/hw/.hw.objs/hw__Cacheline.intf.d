@@ -1,0 +1,1 @@
+lib/hw/cacheline.mli: Engine Params Sim Time Topology

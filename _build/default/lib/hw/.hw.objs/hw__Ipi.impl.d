@@ -1,0 +1,1 @@
+lib/hw/ipi.ml: Engine Params Sim Time Topology

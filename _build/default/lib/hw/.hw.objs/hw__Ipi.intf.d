@@ -1,0 +1,1 @@
+lib/hw/ipi.mli: Engine Params Sim Time Topology

@@ -1,0 +1,1 @@
+lib/hw/machine.ml: Engine Ipi Memory Params Sim Topology

@@ -1,0 +1,1 @@
+lib/hw/machine.mli: Engine Ipi Memory Params Sim Time Topology

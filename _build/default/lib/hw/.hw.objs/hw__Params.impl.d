@@ -1,0 +1,1 @@
+lib/hw/params.ml: Sim Stdlib Time

@@ -1,0 +1,1 @@
+lib/hw/spinlock.ml: Engine Params Queue Sim Time Topology

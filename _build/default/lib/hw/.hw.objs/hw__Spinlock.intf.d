@@ -1,0 +1,1 @@
+lib/hw/spinlock.mli: Engine Params Sim Time Topology

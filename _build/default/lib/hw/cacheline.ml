@@ -1,0 +1,48 @@
+open Sim
+
+type t = {
+  eng : Engine.t;
+  params : Params.t;
+  topo : Topology.t;
+  name : string;
+  mutable busy : bool;
+  mutable last_core : Topology.core;
+  waiters : unit Waitq.t; (* pending ops, FIFO *)
+  mutable ops : int;
+  mutable wait : Time.t;
+}
+
+let create eng params topo ~name =
+  {
+    eng;
+    params;
+    topo;
+    name;
+    busy = false;
+    last_core = 0;
+    waiters = Waitq.create ();
+    ops = 0;
+    wait = Time.zero;
+  }
+
+let transfer t ~core =
+  Params.line_transfer t.params ~same_core:(t.last_core = core)
+    ~same_socket:(Topology.same_socket t.topo t.last_core core)
+
+let access t ~core =
+  let t0 = Engine.now t.eng in
+  if t.busy then Waitq.wait t.eng t.waiters else t.busy <- true;
+  (* We now own the line's service slot; pay the transfer. *)
+  Engine.sleep t.eng (transfer t ~core);
+  t.last_core <- core;
+  t.ops <- t.ops + 1;
+  t.wait <- Time.add t.wait (Time.sub (Engine.now t.eng) t0);
+  (* Hand the slot to the next queued op, or free it. *)
+  if not (Waitq.wake_one t.waiters ()) then t.busy <- false
+
+let ops t = t.ops
+let total_wait t = t.wait
+
+let reset_stats t =
+  t.ops <- 0;
+  t.wait <- Time.zero

@@ -1,0 +1,22 @@
+open Sim
+
+type t = {
+  eng : Engine.t;
+  params : Params.t;
+  topo : Topology.t;
+  mutable sent : int;
+}
+
+let create eng params topo = { eng; params; topo; sent = 0 }
+
+let delivery_latency t ~src ~dst =
+  let base = Time.add t.params.Params.ipi_latency t.params.Params.irq_entry in
+  match Topology.distance t.topo src dst with
+  | Topology.Self | Topology.Same_socket -> base
+  | Topology.Cross_socket -> Time.add base (Time.ns 300)
+
+let send t ~src ~dst handler =
+  t.sent <- t.sent + 1;
+  Engine.schedule t.eng ~after:(delivery_latency t ~src ~dst) handler
+
+let sent t = t.sent

@@ -1,0 +1,22 @@
+open Sim
+
+(** Inter-processor interrupts.
+
+    An IPI is the doorbell mechanism of the Popcorn messaging layer: after
+    writing a message into a shared-memory ring, the sender kicks the
+    destination core. Delivery cost depends on socket distance. *)
+
+type t
+
+val create : Engine.t -> Params.t -> Topology.t -> t
+
+val send :
+  t -> src:Topology.core -> dst:Topology.core -> (unit -> unit) -> unit
+(** Deliver: after the modelled latency, run the handler (a fresh fiber, as
+    if in interrupt context on [dst]). *)
+
+val delivery_latency : t -> src:Topology.core -> dst:Topology.core -> Time.t
+(** The latency [send] will charge, exposed for cost breakdowns. *)
+
+val sent : t -> int
+(** Total IPIs sent (a contention/overhead metric reported by benches). *)

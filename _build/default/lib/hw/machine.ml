@@ -1,0 +1,30 @@
+open Sim
+
+type t = {
+  eng : Engine.t;
+  params : Params.t;
+  topo : Topology.t;
+  mem : Memory.t;
+  ipi : Ipi.t;
+}
+
+let create ?seed ?(params = Params.default) ?(frames_per_socket = 65536)
+    ~sockets ~cores_per_socket () =
+  let eng = Engine.create ?seed () in
+  let topo = Topology.create ~sockets ~cores_per_socket in
+  let mem = Memory.create topo ~frames_per_socket in
+  let ipi = Ipi.create eng params topo in
+  { eng; params; topo; mem; ipi }
+
+let now t = Engine.now t.eng
+
+let compute t dt = Engine.sleep t.eng dt
+
+let copy t ~bytes ~src_socket ~dst_socket =
+  let cross_socket = src_socket <> dst_socket in
+  Engine.sleep t.eng (Params.copy_cost t.params ~bytes ~cross_socket)
+
+let line_access t ~from ~core =
+  let same_core = from = core in
+  let same_socket = Topology.same_socket t.topo from core in
+  Engine.sleep t.eng (Params.line_transfer t.params ~same_core ~same_socket)

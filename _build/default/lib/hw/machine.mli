@@ -1,0 +1,34 @@
+open Sim
+
+(** The simulated machine: engine, topology, parameters, physical memory and
+    IPI fabric bundled together. Every OS model (Popcorn, SMP Linux,
+    multikernel) boots on a [Machine.t]. *)
+
+type t = {
+  eng : Engine.t;
+  params : Params.t;
+  topo : Topology.t;
+  mem : Memory.t;
+  ipi : Ipi.t;
+}
+
+val create :
+  ?seed:int ->
+  ?params:Params.t ->
+  ?frames_per_socket:int ->
+  sockets:int ->
+  cores_per_socket:int ->
+  unit ->
+  t
+(** Build a machine with a fresh engine. [frames_per_socket] defaults to
+    65536 (256 MiB of 4 KiB pages per socket). *)
+
+val now : t -> Time.t
+val compute : t -> Time.t -> unit
+(** A task performing pure computation for the given duration. *)
+
+val copy : t -> bytes:int -> src_socket:int -> dst_socket:int -> unit
+(** A task performing a memory copy; sleeps for the modelled duration. *)
+
+val line_access : t -> from:Topology.core -> core:Topology.core -> unit
+(** A task pulling one cache line last touched by [from] into [core]. *)

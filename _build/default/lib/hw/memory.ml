@@ -1,0 +1,72 @@
+type frame = int
+
+type t = {
+  topo : Topology.t;
+  frames_per_socket : int;
+  free_lists : frame Stack.t array; (* one per socket *)
+  allocated : Bytes.t; (* 1 byte per frame: 0 free, 1 used *)
+  mutable used : int;
+}
+
+let create topo ~frames_per_socket =
+  assert (frames_per_socket > 0);
+  let sockets = Topology.sockets topo in
+  let free_lists = Array.init sockets (fun _ -> Stack.create ()) in
+  for s = sockets - 1 downto 0 do
+    (* Push descending so frames pop in ascending order. *)
+    for i = frames_per_socket - 1 downto 0 do
+      Stack.push ((s * frames_per_socket) + i) free_lists.(s)
+    done
+  done;
+  {
+    topo;
+    frames_per_socket;
+    free_lists;
+    allocated = Bytes.make (sockets * frames_per_socket) '\000';
+    used = 0;
+  }
+
+let frames_per_socket t = t.frames_per_socket
+let total_frames t = Topology.sockets t.topo * t.frames_per_socket
+
+let take t node =
+  match Stack.pop_opt t.free_lists.(node) with
+  | None -> None
+  | Some f ->
+      Bytes.set t.allocated f '\001';
+      t.used <- t.used + 1;
+      Some f
+
+let alloc t ~node =
+  assert (node >= 0 && node < Topology.sockets t.topo);
+  match take t node with
+  | Some f -> Some f
+  | None ->
+      let sockets = Topology.sockets t.topo in
+      let rec try_nodes i =
+        if i >= sockets then None
+        else if i = node then try_nodes (i + 1)
+        else match take t i with Some f -> Some f | None -> try_nodes (i + 1)
+      in
+      try_nodes 0
+
+let alloc_exn t ~node =
+  match alloc t ~node with
+  | Some f -> f
+  | None -> failwith "Memory.alloc_exn: out of physical frames"
+
+let node_of_frame t f =
+  assert (f >= 0 && f < total_frames t);
+  f / t.frames_per_socket
+
+let free t f =
+  if f < 0 || f >= total_frames t then
+    invalid_arg "Memory.free: frame out of range";
+  if Bytes.get t.allocated f = '\000' then
+    invalid_arg "Memory.free: double free";
+  Bytes.set t.allocated f '\000';
+  t.used <- t.used - 1;
+  Stack.push f t.free_lists.(node_of_frame t f)
+
+let used_count t = t.used
+let free_count t = total_frames t - t.used

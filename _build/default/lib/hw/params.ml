@@ -1,0 +1,56 @@
+open Sim
+
+type t = {
+  l1_hit : Time.t;
+  line_local : Time.t;
+  line_same_socket : Time.t;
+  line_cross_socket : Time.t;
+  dram_local : Time.t;
+  dram_remote : Time.t;
+  spin_bounce : Time.t;
+  ipi_latency : Time.t;
+  irq_entry : Time.t;
+  syscall_overhead : Time.t;
+  context_switch : Time.t;
+  copy_bandwidth_bytes_per_us : int;
+  copy_bandwidth_cross_bytes_per_us : int;
+  page_table_walk : Time.t;
+  tlb_flush_local : Time.t;
+  tlb_shootdown_per_core : Time.t;
+  page_size : int;
+}
+
+let default =
+  {
+    l1_hit = Time.ns 1;
+    line_local = Time.ns 4;
+    line_same_socket = Time.ns 40;
+    line_cross_socket = Time.ns 130;
+    dram_local = Time.ns 90;
+    dram_remote = Time.ns 150;
+    spin_bounce = Time.ns 45;
+    ipi_latency = Time.ns 1200;
+    irq_entry = Time.ns 400;
+    syscall_overhead = Time.ns 120;
+    context_switch = Time.ns 1500;
+    copy_bandwidth_bytes_per_us = 8_000;
+    copy_bandwidth_cross_bytes_per_us = 4_500;
+    page_table_walk = Time.ns 250;
+    tlb_flush_local = Time.ns 200;
+    tlb_shootdown_per_core = Time.ns 500;
+    page_size = 4096;
+  }
+
+let copy_cost t ~bytes ~cross_socket =
+  let bw =
+    if cross_socket then t.copy_bandwidth_cross_bytes_per_us
+    else t.copy_bandwidth_bytes_per_us
+  in
+  (* Fixed startup cost plus bandwidth term, rounded up to 1ns. *)
+  let startup = if cross_socket then t.dram_remote else t.dram_local in
+  Time.add startup (Stdlib.max 1 (bytes * 1000 / bw))
+
+let line_transfer t ~same_core ~same_socket =
+  if same_core then t.line_local
+  else if same_socket then t.line_same_socket
+  else t.line_cross_socket

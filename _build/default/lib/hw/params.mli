@@ -1,0 +1,47 @@
+open Sim
+
+(** Calibrated hardware cost parameters.
+
+    All latencies are in simulated nanoseconds. The defaults approximate a
+    dual-socket Intel Xeon of the paper's era (Westmere/Sandy Bridge class,
+    as used by the Popcorn Linux evaluation): cache-to-cache transfer costs,
+    IPI delivery, syscall and context-switch overheads, and memory-copy
+    bandwidth. Experiments depend on the {e relative} magnitudes (local op ≪
+    coherence miss ≪ IPI + message ≪ page copy), not the absolute values. *)
+
+type t = {
+  (* Cache / coherence *)
+  l1_hit : Time.t;  (** load serviced by the local L1. *)
+  line_local : Time.t;  (** line already exclusive in this core's cache. *)
+  line_same_socket : Time.t;  (** line owned by a sibling core (via LLC). *)
+  line_cross_socket : Time.t;  (** line owned by a core on another socket. *)
+  dram_local : Time.t;  (** local-node DRAM access. *)
+  dram_remote : Time.t;  (** remote-node DRAM access. *)
+  spin_bounce : Time.t;
+      (** extra coherence traffic per additional spinner on a contended
+          ticket lock, paid on each lock handoff. *)
+  (* Interrupts / kernel entry *)
+  ipi_latency : Time.t;  (** IPI send to handler entry on the target core. *)
+  irq_entry : Time.t;  (** interrupt prologue/epilogue on the target. *)
+  syscall_overhead : Time.t;  (** user->kernel->user round trip. *)
+  context_switch : Time.t;  (** scheduler switch between two tasks. *)
+  (* Memory operations *)
+  copy_bandwidth_bytes_per_us : int;  (** intra-socket memcpy bandwidth. *)
+  copy_bandwidth_cross_bytes_per_us : int;  (** cross-socket memcpy. *)
+  page_table_walk : Time.t;  (** software fault: walk + PTE update. *)
+  tlb_flush_local : Time.t;
+  tlb_shootdown_per_core : Time.t;
+      (** per-remote-core cost of a TLB shootdown (IPI + ack wait is modelled
+          separately by the caller; this is the handler work). *)
+  page_size : int;  (** bytes per page (4 KiB). *)
+}
+
+val default : t
+(** The calibrated dual-socket x86 defaults described above. *)
+
+val copy_cost : t -> bytes:int -> cross_socket:bool -> Time.t
+(** Latency to copy [bytes] between two buffers. *)
+
+val line_transfer : t -> same_core:bool -> same_socket:bool -> Time.t
+(** Cost for a core to obtain a cache line in exclusive state, given where
+    the line currently lives. *)

@@ -1,0 +1,34 @@
+type t = { sockets : int; cores_per_socket : int }
+
+type core = int
+
+let create ~sockets ~cores_per_socket =
+  assert (sockets > 0 && cores_per_socket > 0);
+  { sockets; cores_per_socket }
+
+let sockets t = t.sockets
+let cores_per_socket t = t.cores_per_socket
+let total_cores t = t.sockets * t.cores_per_socket
+
+let socket_of t core =
+  assert (core >= 0 && core < total_cores t);
+  core / t.cores_per_socket
+
+let cores_of_socket t s =
+  assert (s >= 0 && s < t.sockets);
+  List.init t.cores_per_socket (fun i -> (s * t.cores_per_socket) + i)
+
+let all_cores t = List.init (total_cores t) Fun.id
+
+let same_socket t a b = socket_of t a = socket_of t b
+
+type distance = Self | Same_socket | Cross_socket
+
+let distance t a b =
+  if a = b then Self
+  else if same_socket t a b then Same_socket
+  else Cross_socket
+
+let pp fmt t =
+  Format.fprintf fmt "%d socket(s) x %d core(s) = %d cores" t.sockets
+    t.cores_per_socket (total_cores t)

@@ -1,0 +1,31 @@
+(** Machine topology: sockets × cores, with NUMA distance classes.
+
+    Cores are numbered [0 .. total_cores - 1], socket-major: core [i] lives
+    on socket [i / cores_per_socket], matching how the Popcorn evaluation
+    partitions a multi-socket x86 box between kernels. *)
+
+type t
+
+type core = int
+
+val create : sockets:int -> cores_per_socket:int -> t
+(** Both arguments must be positive. *)
+
+val sockets : t -> int
+val cores_per_socket : t -> int
+val total_cores : t -> int
+
+val socket_of : t -> core -> int
+
+val cores_of_socket : t -> int -> core list
+(** Cores on a socket, ascending. *)
+
+val all_cores : t -> core list
+
+val same_socket : t -> core -> core -> bool
+
+type distance = Self | Same_socket | Cross_socket
+
+val distance : t -> core -> core -> distance
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/kernelmodel/context.ml: Array Format Int64 Sim

@@ -1,0 +1,1 @@
+lib/kernelmodel/context.mli: Format Sim

@@ -1,0 +1,1 @@
+lib/kernelmodel/cpu.ml: Engine Hw Sim Time Waitq

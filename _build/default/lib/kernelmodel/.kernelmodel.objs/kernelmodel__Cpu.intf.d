@@ -1,0 +1,1 @@
+lib/kernelmodel/cpu.mli: Engine Hw Sim Time

@@ -1,0 +1,1 @@
+lib/kernelmodel/fault.ml: Format Page_table Vma

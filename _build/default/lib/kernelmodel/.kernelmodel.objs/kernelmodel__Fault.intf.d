@@ -1,0 +1,1 @@
+lib/kernelmodel/fault.mli: Format Page_table Vma

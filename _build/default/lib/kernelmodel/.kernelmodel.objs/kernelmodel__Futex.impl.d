@@ -1,0 +1,1 @@
+lib/kernelmodel/futex.ml: Engine Hashtbl Sim Waitq

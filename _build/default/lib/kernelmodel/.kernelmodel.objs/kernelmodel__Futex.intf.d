@@ -1,0 +1,1 @@
+lib/kernelmodel/futex.mli: Engine Sim Time

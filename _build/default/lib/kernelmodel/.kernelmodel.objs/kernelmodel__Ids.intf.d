@@ -1,0 +1,1 @@
+lib/kernelmodel/ids.mli: Format

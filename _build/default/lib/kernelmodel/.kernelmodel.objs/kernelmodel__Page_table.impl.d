@@ -1,0 +1,1 @@
+lib/kernelmodel/page_table.ml: Hashtbl Hw List

@@ -1,0 +1,1 @@
+lib/kernelmodel/page_table.mli: Hw

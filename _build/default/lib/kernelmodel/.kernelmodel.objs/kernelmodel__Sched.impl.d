@@ -1,0 +1,1 @@
+lib/kernelmodel/sched.ml: Cpu Hw List Printf Sim Time

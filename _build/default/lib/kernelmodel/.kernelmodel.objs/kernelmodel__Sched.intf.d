@@ -1,0 +1,1 @@
+lib/kernelmodel/sched.mli: Cpu Engine Hw Sim Time

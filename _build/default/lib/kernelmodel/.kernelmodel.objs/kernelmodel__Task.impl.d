@@ -1,0 +1,1 @@
+lib/kernelmodel/task.ml: Context Format Hw Ids List

@@ -1,0 +1,1 @@
+lib/kernelmodel/task.mli: Context Format Hw Ids

@@ -1,0 +1,1 @@
+lib/kernelmodel/vma.ml: Format Int List Map

@@ -1,0 +1,1 @@
+lib/kernelmodel/vma.mli: Format

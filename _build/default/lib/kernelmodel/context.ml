@@ -1,0 +1,68 @@
+type t = {
+  gp : int64 array; (* 16 general-purpose registers *)
+  ip : int64;
+  sp : int64;
+  flags : int64;
+  fpu : int64 array option; (* 64 quadwords = 512-byte FXSAVE area *)
+}
+
+let gp_count = 16
+let fpu_quads = 64
+
+let fresh rng ~use_fpu =
+  let r () = Sim.Prng.bits64 rng in
+  {
+    gp = Array.init gp_count (fun _ -> r ());
+    ip = r ();
+    sp = r ();
+    flags = r ();
+    fpu = (if use_fpu then Some (Array.init fpu_quads (fun _ -> r ())) else None);
+  }
+
+let size_bytes t =
+  let base = (gp_count + 3) * 8 in
+  match t.fpu with None -> base | Some _ -> base + (fpu_quads * 8)
+
+let has_fpu t = t.fpu <> None
+
+let touch_fpu rng t =
+  match t.fpu with
+  | Some _ -> t
+  | None ->
+      { t with fpu = Some (Array.init fpu_quads (fun _ -> Sim.Prng.bits64 rng)) }
+
+let mix h v =
+  let open Int64 in
+  let h = logxor h v in
+  let h = mul h 0x100000001B3L in
+  h
+
+let step t =
+  let bump i v = Int64.add v (Int64.of_int (i + 1)) in
+  {
+    t with
+    gp = Array.mapi bump t.gp;
+    ip = Int64.add t.ip 4L;
+    flags = Int64.logxor t.flags 1L;
+  }
+
+let digest t =
+  let h = ref 0xCBF29CE484222325L in
+  Array.iter (fun v -> h := mix !h v) t.gp;
+  h := mix !h t.ip;
+  h := mix !h t.sp;
+  h := mix !h t.flags;
+  (match t.fpu with
+  | None -> h := mix !h 0L
+  | Some f ->
+      h := mix !h 1L;
+      Array.iter (fun v -> h := mix !h v) f);
+  Int64.to_int !h land max_int
+
+let equal a b =
+  a.gp = b.gp && a.ip = b.ip && a.sp = b.sp && a.flags = b.flags
+  && a.fpu = b.fpu
+
+let pp fmt t =
+  Format.fprintf fmt "ctx{ip=%Lx sp=%Lx fpu=%b digest=%x}" t.ip t.sp
+    (has_fpu t) (digest t)

@@ -1,0 +1,35 @@
+(** Architectural thread context: the state saved and shipped by a context
+    migration.
+
+    Mirrors what Popcorn transfers for an x86-64 thread: general-purpose
+    registers, instruction/stack pointers, and optionally the FPU/SSE state
+    (transferred only if the thread used it, hence the [fpu] option). The
+    register contents are opaque payload to the OS; we fill them with
+    deterministic pseudo-random values so tests can verify bit-exact
+    migration via {!digest}. *)
+
+type t
+
+val fresh : Sim.Prng.t -> use_fpu:bool -> t
+(** New context with randomized register contents. *)
+
+val size_bytes : t -> int
+(** Wire size of the migrated state (GP regs + iret frame, plus 512 bytes of
+    FXSAVE area when FPU state is present). *)
+
+val has_fpu : t -> bool
+
+val touch_fpu : Sim.Prng.t -> t -> t
+(** Returns a context that now carries FPU state (first FP instruction). *)
+
+val step : t -> t
+(** Mutate deterministically, as running computation would; keeps tests
+    honest about contexts evolving between migrations. *)
+
+val digest : t -> int
+(** Order-sensitive hash of all architectural state. Equal digests after a
+    migration mean the context survived bit-exact. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,59 @@
+open Sim
+
+type t = { eng : Engine.t; queues : (int, unit Waitq.t) Hashtbl.t }
+
+let create eng = { eng; queues = Hashtbl.create 64 }
+
+let queue t addr =
+  match Hashtbl.find_opt t.queues addr with
+  | Some q -> q
+  | None ->
+      let q = Waitq.create () in
+      Hashtbl.add t.queues addr q;
+      q
+
+type wait_result = Woken | Timed_out
+
+let wait t ~addr ?timeout () =
+  let q = queue t addr in
+  match timeout with
+  | None ->
+      Waitq.wait t.eng q;
+      Woken
+  | Some timeout -> (
+      match Waitq.wait_timeout t.eng q ~timeout with
+      | Waitq.Signalled () -> Woken
+      | Waitq.Timed_out -> Timed_out)
+
+let wake t ~addr ~count =
+  match Hashtbl.find_opt t.queues addr with
+  | None -> 0
+  | Some q ->
+      let rec go n =
+        if n >= count then n
+        else if Waitq.wake_one q () then go (n + 1)
+        else n
+      in
+      go 0
+
+let requeue t ~from_addr ~to_addr ~max_wake ~max_move =
+  let woken = wake t ~addr:from_addr ~count:max_wake in
+  match Hashtbl.find_opt t.queues from_addr with
+  | None -> (woken, 0)
+  | Some src ->
+      let dst = queue t to_addr in
+      let rec move n =
+        if n >= max_move then n
+        else
+          match Waitq.take src with
+          | None -> n
+          | Some resume ->
+              ignore (Waitq.push dst resume);
+              move (n + 1)
+      in
+      (woken, move 0)
+
+let waiters t ~addr =
+  match Hashtbl.find_opt t.queues addr with
+  | None -> 0
+  | Some q -> Waitq.length q

@@ -1,0 +1,27 @@
+open Sim
+
+(** Futex wait queues, hashed by user address (one table per kernel, or a
+    single shared table in the SMP model).
+
+    The value check ("wait only if [*uaddr] still equals [expected]") is the
+    caller's job, since memory contents live with the OS model; this module
+    owns the queues and wake ordering. *)
+
+type t
+
+val create : Engine.t -> t
+
+type wait_result = Woken | Timed_out
+
+val wait : t -> addr:int -> ?timeout:Time.t -> unit -> wait_result
+(** Park the calling fiber on the queue for [addr]. *)
+
+val wake : t -> addr:int -> count:int -> int
+(** Wake up to [count] waiters FIFO; returns how many were woken. *)
+
+val requeue : t -> from_addr:int -> to_addr:int -> max_wake:int -> max_move:int -> int * int
+(** FUTEX_REQUEUE: wake up to [max_wake] from [from_addr], move up to
+    [max_move] of the remainder onto [to_addr]'s queue. Returns
+    (woken, moved). *)
+
+val waiters : t -> addr:int -> int

@@ -1,0 +1,41 @@
+type pte = { frame : Hw.Memory.frame; writable : bool }
+
+type t = (int, pte) Hashtbl.t
+
+let page_size = 4096
+
+let create () : t = Hashtbl.create 256
+
+let vpn_of_addr addr = addr / page_size
+let addr_of_vpn vpn = vpn * page_size
+
+let set t ~vpn pte = Hashtbl.replace t vpn pte
+let get t ~vpn = Hashtbl.find_opt t vpn
+
+let clear t ~vpn =
+  match Hashtbl.find_opt t vpn with
+  | Some pte ->
+      Hashtbl.remove t vpn;
+      Some pte
+  | None -> None
+
+let clear_range t ~start ~len =
+  let first = vpn_of_addr start in
+  let last = vpn_of_addr (start + len - 1) in
+  let removed = ref [] in
+  for vpn = first to last do
+    match clear t ~vpn with
+    | Some pte -> removed := pte :: !removed
+    | None -> ()
+  done;
+  List.rev !removed
+
+let downgrade t ~vpn =
+  match Hashtbl.find_opt t vpn with
+  | Some pte ->
+      Hashtbl.replace t vpn { pte with writable = false };
+      true
+  | None -> false
+
+let count t = Hashtbl.length t
+let iter t f = Hashtbl.iter (fun vpn pte -> f ~vpn pte) t

@@ -1,0 +1,33 @@
+(** Per-kernel page table for one address space replica.
+
+    Keys are virtual page numbers (address / 4096). In the replicated-kernel
+    design each kernel hosting threads of a process keeps its own page
+    table; the coherence protocol keeps them consistent at page granularity
+    (a page is writable on at most one kernel at a time). *)
+
+type pte = { frame : Hw.Memory.frame; writable : bool }
+
+type t
+
+val create : unit -> t
+
+val vpn_of_addr : int -> int
+val addr_of_vpn : int -> int
+
+val set : t -> vpn:int -> pte -> unit
+(** Install or update a translation. *)
+
+val get : t -> vpn:int -> pte option
+
+val clear : t -> vpn:int -> pte option
+(** Remove a translation, returning what was there. *)
+
+val clear_range : t -> start:int -> len:int -> pte list
+(** Remove every translation for pages in the byte range; returns the
+    removed PTEs (so the caller can free or transfer frames). *)
+
+val downgrade : t -> vpn:int -> bool
+(** Make a present page read-only; [false] if absent. *)
+
+val count : t -> int
+val iter : t -> (vpn:int -> pte -> unit) -> unit

@@ -1,0 +1,52 @@
+type state = Ready | Running | Blocked of string | Exited of int
+
+type t = {
+  tid : Ids.tid;
+  tgid : Ids.pid;
+  origin_kernel : int;
+  mutable kernel : int;
+  mutable core : Hw.Topology.core option;
+  mutable state : state;
+  mutable ctx : Context.t;
+  mutable migrations : int;
+  mutable recent_vpns : int list;
+}
+
+let create ~tid ~tgid ~kernel ~ctx =
+  {
+    tid;
+    tgid;
+    origin_kernel = kernel;
+    kernel;
+    core = None;
+    state = Ready;
+    ctx;
+    migrations = 0;
+    recent_vpns = [];
+  }
+
+let is_live t = match t.state with Exited _ -> false | _ -> true
+
+let recent_cap = 8
+
+let note_touch t ~vpn =
+  let rest = List.filter (fun v -> v <> vpn) t.recent_vpns in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: tl -> x :: take (n - 1) tl
+  in
+  t.recent_vpns <- vpn :: take (recent_cap - 1) rest
+let set_state t s = t.state <- s
+
+let pp_state fmt = function
+  | Ready -> Format.pp_print_string fmt "ready"
+  | Running -> Format.pp_print_string fmt "running"
+  | Blocked why -> Format.fprintf fmt "blocked(%s)" why
+  | Exited code -> Format.fprintf fmt "exited(%d)" code
+
+let pp fmt t =
+  Format.fprintf fmt "task{tid=%d tgid=%d k=%d core=%s %a mig=%d}" t.tid
+    t.tgid t.kernel
+    (match t.core with None -> "-" | Some c -> string_of_int c)
+    pp_state t.state t.migrations

@@ -1,0 +1,1 @@
+lib/msg/gather.ml: Engine Sim

@@ -1,0 +1,1 @@
+lib/msg/rpc.ml: Engine Hashtbl Sim

@@ -1,0 +1,1 @@
+lib/msg/rpc.mli: Engine Sim Time

@@ -1,0 +1,1 @@
+lib/msg/transport.ml: Channel Engine Hashtbl Hw List Printf Sim Time

@@ -1,0 +1,1 @@
+lib/msg/transport.mli: Hw Sim Time

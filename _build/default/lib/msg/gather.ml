@@ -1,0 +1,33 @@
+open Sim
+
+type t = {
+  eng : Engine.t;
+  expected : int;
+  mutable received : int;
+  mutable waiter : (unit -> unit) option;
+}
+
+let create eng ~expected =
+  assert (expected >= 0);
+  { eng; expected; received = 0; waiter = None }
+
+let ack t =
+  if t.received >= t.expected then
+    invalid_arg "Gather.ack: more acks than expected";
+  t.received <- t.received + 1;
+  if t.received = t.expected then
+    match t.waiter with
+    | Some resume ->
+        t.waiter <- None;
+        resume ()
+    | None -> ()
+
+let wait t =
+  if t.received < t.expected then
+    Engine.suspend t.eng (fun resume ->
+        (match t.waiter with
+        | None -> ()
+        | Some _ -> invalid_arg "Gather.wait: already has a waiter");
+        t.waiter <- Some resume)
+
+let received t = t.received

@@ -1,0 +1,18 @@
+open Sim
+
+(** Ack gathering for broadcast protocols (e.g. distributed munmap: send to
+    every kernel in the group, wait until all acknowledge). *)
+
+type t
+
+val create : Engine.t -> expected:int -> t
+(** [expected >= 0]; with 0, {!wait} returns immediately. *)
+
+val ack : t -> unit
+(** One acknowledgement arrived. Raises [Invalid_argument] if more acks
+    arrive than expected. *)
+
+val wait : t -> unit
+(** Park until all expected acks have arrived. Only one fiber may wait. *)
+
+val received : t -> int

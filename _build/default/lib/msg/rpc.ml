@@ -1,0 +1,82 @@
+open Sim
+
+(* Response delivery may race with the caller still executing its send
+   (which sleeps for the wire costs): the cell buffers an early response
+   until the caller parks. *)
+type 'r cell = Unresolved | Waiting of ('r -> unit) | Done of 'r
+
+type 'r t = {
+  eng : Engine.t;
+  mutable next_ticket : int;
+  waiting : (int, 'r -> unit) Hashtbl.t;
+}
+
+let create eng = { eng; next_ticket = 1; waiting = Hashtbl.create 64 }
+
+let fresh t =
+  let ticket = t.next_ticket in
+  t.next_ticket <- ticket + 1;
+  ticket
+
+let register t callback =
+  let ticket = fresh t in
+  Hashtbl.replace t.waiting ticket callback;
+  ticket
+
+let call t send =
+  let cell = ref Unresolved in
+  let ticket =
+    register t (fun r ->
+        match !cell with
+        | Waiting resume -> resume r
+        | Unresolved -> cell := Done r
+        | Done _ -> ())
+  in
+  send ticket;
+  match !cell with
+  | Done r -> r
+  | Waiting _ -> assert false
+  | Unresolved ->
+      Engine.suspend t.eng (fun resume ->
+          match !cell with
+          | Done r -> resume r
+          | Unresolved -> cell := Waiting resume
+          | Waiting _ -> assert false)
+
+let call_timeout t ~timeout send =
+  (* [result]: Some (Some r) = responded, Some None = timed out. *)
+  let result = ref None in
+  let waiter = ref None in
+  let deliver out =
+    match !waiter with Some resume -> resume out | None -> result := Some out
+  in
+  let ticket = register t (fun r -> deliver (Some r)) in
+  Engine.schedule t.eng ~after:timeout (fun () ->
+      if Hashtbl.mem t.waiting ticket then begin
+        Hashtbl.remove t.waiting ticket;
+        deliver None
+      end);
+  send ticket;
+  match !result with
+  | Some out -> out
+  | None ->
+      Engine.suspend t.eng (fun resume ->
+          match !result with
+          | Some out -> resume out
+          | None -> waiter := Some resume)
+
+let complete t ~ticket r =
+  match Hashtbl.find_opt t.waiting ticket with
+  | None -> () (* stale response for a timed-out call *)
+  | Some resume ->
+      Hashtbl.remove t.waiting ticket;
+      resume r
+
+let forget t ~ticket =
+  if Hashtbl.mem t.waiting ticket then begin
+    Hashtbl.remove t.waiting ticket;
+    true
+  end
+  else false
+
+let pending t = Hashtbl.length t.waiting

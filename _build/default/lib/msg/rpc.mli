@@ -1,0 +1,48 @@
+open Sim
+
+(** Ticketed request/response matching over {!Transport}.
+
+    The OS model's protocol variant carries ticket integers; this module
+    owns the ticket namespace and the table from ticket to parked caller.
+    A typical remote operation is:
+
+    {[
+      let resp =
+        Rpc.call rpc (fun ticket ->
+            Transport.send fabric ~src ~dst ~bytes (Page_request { ticket; ... }))
+      in ...
+    ]}
+
+    and the message handler for the response side runs
+    [Rpc.complete rpc ~ticket resp]. *)
+
+type 'r t
+(** ['r] is the response payload type. *)
+
+val create : Engine.t -> 'r t
+
+val register : 'r t -> ('r -> unit) -> int
+(** Allocate a ticket whose completion runs the callback instead of waking a
+    parked fiber — the building block for parallel broadcasts where one
+    fiber waits on many tickets at once. *)
+
+val call : 'r t -> (int -> unit) -> 'r
+(** [call t send] allocates a ticket, invokes [send ticket] (which should
+    transmit the request), then parks the calling fiber until
+    {!complete} is invoked with that ticket. *)
+
+val call_timeout : 'r t -> timeout:Time.t -> (int -> unit) -> 'r option
+(** Like {!call}; [None] if no response arrives in time (the ticket is then
+    forgotten and a late response is dropped). *)
+
+val complete : 'r t -> ticket:int -> 'r -> unit
+(** Deliver a response. Unknown or stale tickets are ignored (they belong to
+    timed-out calls). *)
+
+val forget : 'r t -> ticket:int -> bool
+(** Drop a pending ticket (e.g. when a caller times out on its own);
+    returns whether it was still pending. A response arriving later is
+    silently ignored. *)
+
+val pending : 'r t -> int
+(** Number of in-flight calls. *)

@@ -1,0 +1,170 @@
+open Sim
+
+type node = int
+
+type 'a packet = {
+  src : node;
+  src_core : Hw.Topology.core;
+  payload : 'a;
+  bytes : int;
+  enqueued_at : Time.t;
+  doorbell : Time.t;
+      (** IPI delivery latency to charge before processing; non-zero only
+          when the receive worker was idle at send time. *)
+}
+
+type 'a endpoint = {
+  node : node;
+  core : Hw.Topology.core;
+  inbox : 'a packet Channel.t;
+  mutable worker_idle : bool;
+}
+
+type stats = {
+  sent : int;
+  delivered : int;
+  doorbells : int;
+  total_latency : Time.t;
+}
+
+type 'a t = {
+  machine : Hw.Machine.t;
+  ring_slots : int;
+  handler : 'a t -> dst:node -> src:node -> 'a -> unit;
+  endpoints : (node, 'a endpoint) Hashtbl.t;
+  mutable st_sent : int;
+  mutable st_delivered : int;
+  mutable st_doorbells : int;
+  mutable st_latency : Time.t;
+  mutable jitter : Time.t;
+}
+
+let create machine ~ring_slots ~handler =
+  assert (ring_slots >= 1);
+  {
+    machine;
+    ring_slots;
+    handler;
+    endpoints = Hashtbl.create 16;
+    st_sent = 0;
+    st_delivered = 0;
+    st_doorbells = 0;
+    st_latency = Time.zero;
+    jitter = Time.zero;
+  }
+
+let machine t = t.machine
+
+let endpoint t node =
+  match Hashtbl.find_opt t.endpoints node with
+  | Some ep -> ep
+  | None -> invalid_arg (Printf.sprintf "Transport: unknown node %d" node)
+
+let nodes t =
+  Hashtbl.fold (fun n _ acc -> n :: acc) t.endpoints [] |> List.sort compare
+
+let home_core t node = (endpoint t node).core
+
+(* Receiver-side cost to pull a message out of the ring and enter the
+   handler: payload copy plus a little dispatch work. *)
+let receive_cost t ep (pkt : 'a packet) =
+  let m = t.machine in
+  let cross =
+    not (Hw.Topology.same_socket m.Hw.Machine.topo ep.core pkt.src_core)
+  in
+  let copy =
+    Hw.Params.copy_cost m.Hw.Machine.params ~bytes:pkt.bytes
+      ~cross_socket:cross
+  in
+  Time.add copy (Time.ns 150)
+
+let worker_loop t ep =
+  let m = t.machine in
+  let eng = m.Hw.Machine.eng in
+  let rec loop () =
+    ep.worker_idle <- true;
+    let pkt = Channel.recv ep.inbox in
+    ep.worker_idle <- false;
+    (* A doorbell wake-up: the IPI takes this long to reach us. *)
+    Engine.sleep eng pkt.doorbell;
+    Engine.sleep eng (receive_cost t ep pkt);
+    (* Robustness-testing jitter: a per-message processing delay. It keeps
+       each ring FIFO (as real shared-memory rings are) while perturbing
+       interleavings across kernels. *)
+    if t.jitter > 0 then
+      Engine.sleep eng (Sim.Prng.int (Engine.rng eng) (t.jitter + 1));
+    t.st_delivered <- t.st_delivered + 1;
+    t.st_latency <-
+      Time.add t.st_latency (Time.sub (Engine.now eng) pkt.enqueued_at);
+    let src = pkt.src and payload = pkt.payload in
+    (* Fresh fiber per message: handlers may block on nested RPCs. *)
+    Engine.spawn eng ~name:(Printf.sprintf "msg-handler-n%d" ep.node)
+      (fun () -> t.handler t ~dst:ep.node ~src payload);
+    loop ()
+  in
+  loop ()
+
+let add_node t node ~home_core =
+  if Hashtbl.mem t.endpoints node then
+    invalid_arg (Printf.sprintf "Transport.add_node: duplicate node %d" node);
+  let ep =
+    {
+      node;
+      core = home_core;
+      inbox = Channel.create t.machine.Hw.Machine.eng ~capacity:t.ring_slots;
+      worker_idle = true;
+    }
+  in
+  Hashtbl.add t.endpoints node ep;
+  Engine.spawn t.machine.Hw.Machine.eng
+    ~name:(Printf.sprintf "msg-worker-n%d" node)
+    (fun () -> worker_loop t ep)
+
+let send_from_core t ~src ~src_core ~dst ~bytes payload =
+  let m = t.machine in
+  let eng = m.Hw.Machine.eng in
+  let ep = endpoint t dst in
+  let cross = not (Hw.Topology.same_socket m.Hw.Machine.topo src_core ep.core) in
+  (* Sender cost: reserve a slot (one atomic fetch-add on a possibly-remote
+     cache line) + copy the payload into shared memory. *)
+  let reserve =
+    Hw.Params.line_transfer m.Hw.Machine.params ~same_core:false
+      ~same_socket:(not cross)
+  in
+  let copy = Hw.Params.copy_cost m.Hw.Machine.params ~bytes ~cross_socket:cross in
+  Engine.sleep eng (Time.add reserve copy);
+  t.st_sent <- t.st_sent + 1;
+  (* The ring write happens now (enqueue order = send order, FIFO); if the
+     worker is idle it additionally needs a doorbell IPI, charged on its
+     side before it processes this packet. *)
+  let was_idle = ep.worker_idle && Channel.is_empty ep.inbox in
+  let doorbell =
+    if was_idle then begin
+      t.st_doorbells <- t.st_doorbells + 1;
+      Hw.Ipi.delivery_latency m.Hw.Machine.ipi ~src:src_core ~dst:ep.core
+    end
+    else Time.zero
+  in
+  Channel.send ep.inbox
+    { src; src_core; payload; bytes; enqueued_at = Engine.now eng; doorbell }
+
+let send t ~src ~dst ~bytes payload =
+  send_from_core t ~src ~src_core:(endpoint t src).core ~dst ~bytes payload
+
+let stats t =
+  {
+    sent = t.st_sent;
+    delivered = t.st_delivered;
+    doorbells = t.st_doorbells;
+    total_latency = t.st_latency;
+  }
+
+let set_jitter t ~max_extra =
+  assert (max_extra >= 0);
+  t.jitter <- max_extra
+
+let reset_stats t =
+  t.st_sent <- 0;
+  t.st_delivered <- 0;
+  t.st_doorbells <- 0;
+  t.st_latency <- Time.zero

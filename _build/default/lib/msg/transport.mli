@@ -1,0 +1,67 @@
+open Sim
+
+(** Inter-kernel message transport.
+
+    Models Popcorn's messaging layer: each kernel owns a receive ring in
+    shared memory; senders copy the payload into a slot (paying memcpy +
+    ring-bookkeeping coherence costs) and kick the destination kernel with an
+    IPI doorbell only when its message worker is idle — when the worker is
+    already draining the ring, messages are batched doorbell-free, exactly as
+    in the real implementation.
+
+    The transport is polymorphic in the payload type; the OS model defines a
+    single protocol variant. Handlers run as fresh fibers so a handler may
+    itself block (e.g. issue a nested RPC) without stalling the ring. *)
+
+type 'a t
+
+type node = int
+(** Kernel identifier. *)
+
+type stats = {
+  sent : int;
+  delivered : int;
+  doorbells : int;
+  total_latency : Time.t;  (** summed enqueue-to-handler-start latency. *)
+}
+
+val create :
+  Hw.Machine.t ->
+  ring_slots:int ->
+  handler:('a t -> dst:node -> src:node -> 'a -> unit) ->
+  'a t
+(** A fabric with no nodes yet; [ring_slots] bounds each receive ring
+    (senders block on a full ring). The handler receives every delivered
+    message. *)
+
+val add_node : 'a t -> node -> home_core:Hw.Topology.core -> unit
+(** Register a kernel and start its message worker. The home core determines
+    socket distances for cost modelling. *)
+
+val machine : 'a t -> Hw.Machine.t
+val nodes : 'a t -> node list
+val home_core : 'a t -> node -> Hw.Topology.core
+
+val send : 'a t -> src:node -> dst:node -> bytes:int -> 'a -> unit
+(** Send; the calling fiber pays the sender-side costs and blocks if the
+    destination ring is full. Delivery is asynchronous. *)
+
+val send_from_core :
+  'a t ->
+  src:node ->
+  src_core:Hw.Topology.core ->
+  dst:node ->
+  bytes:int ->
+  'a ->
+  unit
+(** Like {!send} but with an explicit sending core (for threads running on a
+    non-home core of the source kernel). *)
+
+val set_jitter : 'a t -> max_extra:Time.t -> unit
+(** Fault/robustness injection: add a uniformly random extra delay in
+    [\[0, max_extra\]] to every delivery (drawn from the engine's seeded
+    PRNG, so runs stay deterministic). 0 disables. Used by the protocol
+    property tests to stress message interleavings. *)
+
+val stats : 'a t -> stats
+val reset_stats : 'a t -> unit

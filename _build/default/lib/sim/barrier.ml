@@ -1,0 +1,29 @@
+type t = {
+  eng : Engine.t;
+  parties : int;
+  mutable arrived : int;
+  mutable rounds : int;
+  waiters : unit Waitq.t;
+}
+
+let create eng ~parties =
+  assert (parties >= 1);
+  { eng; parties; arrived = 0; rounds = 0; waiters = Waitq.create () }
+
+let wait t =
+  t.arrived <- t.arrived + 1;
+  if t.arrived = t.parties then begin
+    (* Last arrival: open the barrier and reset for the next round. *)
+    t.arrived <- 0;
+    t.rounds <- t.rounds + 1;
+    ignore (Waitq.wake_all t.waiters ());
+    `Leader
+  end
+  else begin
+    Waitq.wait t.eng t.waiters;
+    `Follower
+  end
+
+let parties t = t.parties
+let waiting t = Waitq.length t.waiters
+let rounds t = t.rounds

@@ -1,0 +1,21 @@
+(** Reusable cyclic barriers in simulated time.
+
+    [n] parties call {!wait}; the last arrival releases everyone and the
+    barrier resets for the next round (sense-reversing semantics). *)
+
+type t
+
+val create : Engine.t -> parties:int -> t
+(** [parties >= 1]. *)
+
+val wait : t -> [ `Leader | `Follower ]
+(** Park until all parties have arrived; exactly one caller per round is
+    told it was the last one in ([`Leader]). *)
+
+val parties : t -> int
+
+val waiting : t -> int
+(** Parties currently parked in this round. *)
+
+val rounds : t -> int
+(** Completed rounds. *)

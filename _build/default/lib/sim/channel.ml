@@ -1,0 +1,71 @@
+type 'a t = {
+  eng : Engine.t;
+  capacity : int; (* max_int = unbounded *)
+  items : 'a Queue.t;
+  senders : unit Waitq.t; (* parked when full; each wake = one free slot *)
+  receivers : 'a Waitq.t; (* parked when empty; direct handoff *)
+}
+
+let create eng ~capacity =
+  assert (capacity >= 1);
+  {
+    eng;
+    capacity;
+    items = Queue.create ();
+    senders = Waitq.create ();
+    receivers = Waitq.create ();
+  }
+
+let unbounded eng =
+  {
+    eng;
+    capacity = max_int;
+    items = Queue.create ();
+    senders = Waitq.create ();
+    receivers = Waitq.create ();
+  }
+
+let send t v =
+  if Waitq.wake_one t.receivers v then ()
+  else if Queue.length t.items < t.capacity then Queue.push v t.items
+  else begin
+    (* Park until a recv frees a slot; exactly one sender is woken per
+       dequeue, so the slot is reserved for us. *)
+    Waitq.wait t.eng t.senders;
+    Queue.push v t.items
+  end
+
+let try_send t v =
+  if Waitq.wake_one t.receivers v then true
+  else if Queue.length t.items < t.capacity then begin
+    Queue.push v t.items;
+    true
+  end
+  else false
+
+let recv t =
+  match Queue.take_opt t.items with
+  | Some v ->
+      ignore (Waitq.wake_one t.senders ());
+      v
+  | None -> Waitq.wait t.eng t.receivers
+
+let recv_timeout t ~timeout =
+  match Queue.take_opt t.items with
+  | Some v ->
+      ignore (Waitq.wake_one t.senders ());
+      Some v
+  | None -> (
+      match Waitq.wait_timeout t.eng t.receivers ~timeout with
+      | Waitq.Signalled v -> Some v
+      | Waitq.Timed_out -> None)
+
+let try_recv t =
+  match Queue.take_opt t.items with
+  | Some v ->
+      ignore (Waitq.wake_one t.senders ());
+      Some v
+  | None -> None
+
+let length t = Queue.length t.items
+let is_empty t = Queue.is_empty t.items

@@ -1,0 +1,30 @@
+(** Bounded FIFO channels between fibers, in simulated time.
+
+    Used pervasively as mailboxes for simulated kernel worker threads. A
+    channel of capacity [n] blocks senders when [n] messages are queued;
+    capacity 0 is rendezvous-free here — use capacity >= 1. *)
+
+type 'a t
+
+val create : Engine.t -> capacity:int -> 'a t
+(** [capacity >= 1]. *)
+
+val unbounded : Engine.t -> 'a t
+(** Channel that never blocks senders. *)
+
+val send : 'a t -> 'a -> unit
+(** Enqueue; parks the fiber while the channel is full. *)
+
+val try_send : 'a t -> 'a -> bool
+(** Enqueue if there is room; never blocks. *)
+
+val recv : 'a t -> 'a
+(** Dequeue; parks the fiber while the channel is empty. *)
+
+val recv_timeout : 'a t -> timeout:Time.t -> 'a option
+(** [None] on timeout. *)
+
+val try_recv : 'a t -> 'a option
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool

@@ -1,0 +1,18 @@
+type t = { eng : Engine.t; waiters : unit Waitq.t }
+
+let create eng = { eng; waiters = Waitq.create () }
+
+let wait t m =
+  Mutex.unlock m;
+  Waitq.wait t.eng t.waiters;
+  Mutex.lock m
+
+let wait_timeout t m ~timeout =
+  Mutex.unlock m;
+  let r = Waitq.wait_timeout t.eng t.waiters ~timeout in
+  Mutex.lock m;
+  match r with Waitq.Signalled () -> `Signalled | Waitq.Timed_out -> `Timed_out
+
+let signal t = ignore (Waitq.wake_one t.waiters ())
+let broadcast t = Waitq.wake_all t.waiters ()
+let waiters t = Waitq.length t.waiters

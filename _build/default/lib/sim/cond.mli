@@ -1,0 +1,19 @@
+(** Condition variables over {!Mutex}, in simulated time. *)
+
+type t
+
+val create : Engine.t -> t
+
+val wait : t -> Mutex.t -> unit
+(** Atomically release the mutex and park; re-acquires before returning. *)
+
+val wait_timeout : t -> Mutex.t -> timeout:Time.t -> [ `Signalled | `Timed_out ]
+(** Like {!wait} with a deadline; the mutex is re-acquired in both cases. *)
+
+val signal : t -> unit
+(** Wake one waiter (no-op if none). *)
+
+val broadcast : t -> int
+(** Wake all waiters; returns how many were woken. *)
+
+val waiters : t -> int

@@ -1,0 +1,67 @@
+type 'a cell = { at : Time.t; seq : int; v : 'a }
+
+type 'a t = { mutable a : 'a cell array; mutable n : int }
+
+let create () = { a = [||]; n = 0 }
+
+let before x y = x.at < y.at || (x.at = y.at && x.seq < y.seq)
+
+let grow t =
+  let cap = Array.length t.a in
+  let ncap = if cap = 0 then 16 else 2 * cap in
+  (* The dummy cell at fresh slots is never observed: [n] bounds access. *)
+  let a' = Array.make ncap t.a.(0) in
+  Array.blit t.a 0 a' 0 t.n;
+  t.a <- a'
+
+let push t ~at ~seq v =
+  let c = { at; seq; v } in
+  if t.n = 0 && Array.length t.a = 0 then t.a <- Array.make 16 c;
+  if t.n = Array.length t.a then grow t;
+  t.a.(t.n) <- c;
+  t.n <- t.n + 1;
+  (* sift up *)
+  let i = ref (t.n - 1) in
+  while
+    !i > 0
+    &&
+    let p = (!i - 1) / 2 in
+    before t.a.(!i) t.a.(p)
+  do
+    let p = (!i - 1) / 2 in
+    let tmp = t.a.(p) in
+    t.a.(p) <- t.a.(!i);
+    t.a.(!i) <- tmp;
+    i := p
+  done
+
+let pop t =
+  if t.n = 0 then None
+  else begin
+    let root = t.a.(0) in
+    t.n <- t.n - 1;
+    if t.n > 0 then begin
+      t.a.(0) <- t.a.(t.n);
+      (* sift down *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.n && before t.a.(l) t.a.(!smallest) then smallest := l;
+        if r < t.n && before t.a.(r) t.a.(!smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          let tmp = t.a.(!smallest) in
+          t.a.(!smallest) <- t.a.(!i);
+          t.a.(!i) <- tmp;
+          i := !smallest
+        end
+      done
+    end;
+    Some (root.at, root.seq, root.v)
+  end
+
+let peek_time t = if t.n = 0 then None else Some t.a.(0).at
+let size t = t.n
+let is_empty t = t.n = 0

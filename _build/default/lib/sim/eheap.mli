@@ -1,0 +1,19 @@
+(** Binary min-heap of scheduled events, keyed by (time, sequence).
+
+    The sequence number makes ordering total and stable: two events scheduled
+    for the same instant fire in scheduling order, which keeps simulations
+    deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> at:Time.t -> seq:int -> 'a -> unit
+
+val pop : 'a t -> (Time.t * int * 'a) option
+(** Remove and return the earliest event, or [None] when empty. *)
+
+val peek_time : 'a t -> Time.t option
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool

@@ -1,0 +1,97 @@
+type t = {
+  mutable now : Time.t;
+  queue : (unit -> unit) Eheap.t;
+  mutable seq : int;
+  rng : Prng.t;
+  mutable processed : int;
+  mutable tracer : (Time.t -> string -> unit) option;
+}
+
+exception Fiber_failure of string * exn
+
+type _ Effect.t +=
+  | Sleep : t * Time.t -> unit Effect.t
+  | Suspend : t * (('a -> unit) -> unit) -> 'a Effect.t
+
+let create ?(seed = 42) () =
+  {
+    now = Time.zero;
+    queue = Eheap.create ();
+    seq = 0;
+    rng = Prng.create ~seed;
+    processed = 0;
+    tracer = None;
+  }
+
+let now t = t.now
+let rng t = t.rng
+let events_processed t = t.processed
+
+let push t ~after run =
+  assert (after >= 0);
+  let seq = t.seq in
+  t.seq <- seq + 1;
+  Eheap.push t.queue ~at:(Time.add t.now after) ~seq run
+
+(* Wrap a thunk in the effect handler that turns Sleep/Suspend into engine
+   events. The continuation keeps the handler, so a fiber only needs wrapping
+   once, at its entry point. *)
+let as_fiber name f =
+  let open Effect.Deep in
+  fun () ->
+    match_with f ()
+      {
+        retc = (fun () -> ());
+        exnc = (fun e -> raise (Fiber_failure (name, e)));
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Sleep (eng, dt) ->
+                Some
+                  (fun (k : (a, _) continuation) ->
+                    push eng ~after:dt (fun () -> continue k ()))
+            | Suspend (eng, register) ->
+                Some
+                  (fun (k : (a, _) continuation) ->
+                    let fired = ref false in
+                    register (fun v ->
+                        if not !fired then begin
+                          fired := true;
+                          push eng ~after:0 (fun () -> continue k v)
+                        end))
+            | _ -> None);
+      }
+
+let schedule t ~after f = push t ~after (as_fiber "callback" f)
+
+let spawn t ?(name = "fiber") f = push t ~after:0 (as_fiber name f)
+
+let run ?until t =
+  let continue = ref true in
+  while !continue do
+    match Eheap.peek_time t.queue with
+    | None -> continue := false
+    | Some at -> (
+        match until with
+        | Some limit when at > limit ->
+            t.now <- limit;
+            continue := false
+        | _ ->
+            let _, _, run =
+              match Eheap.pop t.queue with
+              | Some e -> e
+              | None -> assert false
+            in
+            t.now <- at;
+            t.processed <- t.processed + 1;
+            run ())
+  done
+
+let sleep t dt = if dt <= 0 then () else Effect.perform (Sleep (t, dt))
+let yield t = Effect.perform (Sleep (t, 0))
+let suspend t register = Effect.perform (Suspend (t, register))
+
+let set_trace t sink = t.tracer <- sink
+
+let trace t msg =
+  match t.tracer with None -> () | Some sink -> sink t.now (msg ())

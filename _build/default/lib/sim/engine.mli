@@ -1,0 +1,75 @@
+(** Deterministic discrete-event simulation engine with lightweight fibers.
+
+    An engine owns a virtual clock and an event queue. Simulated activities
+    are {e fibers}: ordinary OCaml functions that may call {!sleep},
+    {!suspend} and the synchronisation primitives built on them. Fibers are
+    implemented with effect handlers, so simulation code reads like direct
+    style ("compute for 3us, then take the lock") while the engine
+    single-steps events in virtual-time order.
+
+    Determinism: given the same seed and the same program, every run produces
+    the identical event interleaving. Events scheduled for the same instant
+    fire in scheduling order. *)
+
+type t
+
+exception Fiber_failure of string * exn
+(** Raised out of {!run} when a fiber terminates with an uncaught exception.
+    The string is the fiber's name. *)
+
+val create : ?seed:int -> unit -> t
+(** Fresh engine with clock at zero. [seed] (default 42) seeds {!rng}. *)
+
+val now : t -> Time.t
+(** Current virtual time. *)
+
+val rng : t -> Prng.t
+(** The engine's deterministic random stream. *)
+
+val events_processed : t -> int
+(** Total events executed so far; a cheap progress/complexity metric. *)
+
+(** {1 Scheduling} *)
+
+val schedule : t -> after:Time.t -> (unit -> unit) -> unit
+(** Run a plain callback [after] nanoseconds from now. The callback runs
+    under the fiber handler, so it may itself sleep or suspend. *)
+
+val spawn : t -> ?name:string -> (unit -> unit) -> unit
+(** Start a new fiber at the current instant. *)
+
+val run : ?until:Time.t -> t -> unit
+(** Execute events until the queue is empty, or until the clock would pass
+    [until]. Re-raises {!Fiber_failure} if any fiber died. *)
+
+(** {1 Fiber operations}
+
+    These must be called from inside a fiber (i.e. from code started via
+    {!spawn} or {!schedule}). *)
+
+val sleep : t -> Time.t -> unit
+(** Advance this fiber's virtual time by the given duration. *)
+
+val yield : t -> unit
+(** Re-schedule at the current instant, after already-queued events. *)
+
+val suspend : t -> (('a -> unit) -> unit) -> 'a
+(** [suspend t register] parks the fiber and calls [register resume].
+    Whoever calls [resume v] (later, from any fiber or callback) reschedules
+    the fiber, which then returns [v] from [suspend]. [resume] is idempotent:
+    calls after the first are ignored, so racing wake-ups (e.g. a signal and
+    a timeout) are safe.
+
+    {b Contract}: [register] runs in the scheduler's context, outside any
+    fiber, so it must not itself sleep or suspend — it should only record
+    [resume] somewhere (a wait queue, a ticket table) and/or schedule plain
+    events. Do the effectful work (sending messages, charging costs) in the
+    fiber before calling [suspend]. *)
+
+(** {1 Tracing} *)
+
+val set_trace : t -> (Time.t -> string -> unit) option -> unit
+(** Install (or remove) a trace sink. *)
+
+val trace : t -> (unit -> string) -> unit
+(** Emit a trace line; the thunk is only forced when a sink is installed. *)

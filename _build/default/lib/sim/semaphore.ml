@@ -1,0 +1,23 @@
+type t = { eng : Engine.t; mutable permits : int; waiters : unit Waitq.t }
+
+let create eng n =
+  assert (n >= 0);
+  { eng; permits = n; waiters = Waitq.create () }
+
+let acquire t =
+  if t.permits > 0 then t.permits <- t.permits - 1
+  else Waitq.wait t.eng t.waiters
+
+let try_acquire t =
+  if t.permits > 0 then begin
+    t.permits <- t.permits - 1;
+    true
+  end
+  else false
+
+let release t =
+  (* Hand the permit directly to a waiter if one exists. *)
+  if not (Waitq.wake_one t.waiters ()) then t.permits <- t.permits + 1
+
+let available t = t.permits
+let waiters t = Waitq.length t.waiters

@@ -1,0 +1,12 @@
+(** Counting semaphores in simulated time. *)
+
+type t
+
+val create : Engine.t -> int -> t
+(** [create eng n] starts with [n] permits. [n >= 0]. *)
+
+val acquire : t -> unit
+val try_acquire : t -> bool
+val release : t -> unit
+val available : t -> int
+val waiters : t -> int

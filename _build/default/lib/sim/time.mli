@@ -1,0 +1,44 @@
+(** Simulated time, in integer nanoseconds.
+
+    All simulation clocks and durations are values of type {!t}. The engine
+    never consults wall-clock time, so simulations are fully deterministic. *)
+
+type t = int
+(** Nanoseconds. A 63-bit [int] covers ~292 simulated years. *)
+
+val zero : t
+
+val ns : int -> t
+(** [ns x] is [x] nanoseconds. *)
+
+val us : int -> t
+(** [us x] is [x] microseconds. *)
+
+val ms : int -> t
+(** [ms x] is [x] milliseconds. *)
+
+val s : int -> t
+(** [s x] is [x] seconds. *)
+
+val to_float_us : t -> float
+(** Duration in microseconds as a float, for reporting. *)
+
+val to_float_ms : t -> float
+(** Duration in milliseconds as a float, for reporting. *)
+
+val to_float_s : t -> float
+(** Duration in seconds as a float, for reporting. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : int -> t -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable rendering with an adaptive unit (ns/us/ms/s). *)
+
+val to_string : t -> string

@@ -1,0 +1,31 @@
+(** Bounded in-memory event traces.
+
+    A trace is a ring of (time, category, message) events; producers emit
+    cheaply (messages are built only when tracing is enabled by
+    construction — the caller holds a [t option]), and consumers dump or
+    filter after the run. Used by the OS models to record protocol events
+    (migrations, faults, grants) for debugging and the CLI's timeline
+    view. *)
+
+type t
+
+type event = { at : Time.t; cat : string; msg : string }
+
+val create : ?capacity:int -> unit -> t
+(** Ring of at most [capacity] (default 4096) most-recent events. *)
+
+val emit : t -> at:Time.t -> cat:string -> string -> unit
+
+val events : ?cat:string -> t -> event list
+(** Chronological; [cat] filters by exact category. *)
+
+val count : t -> int
+(** Events currently retained (≤ capacity). *)
+
+val total : t -> int
+(** Events ever emitted (including ones the ring has dropped). *)
+
+val clear : t -> unit
+
+val pp : Format.formatter -> t -> unit
+(** One line per retained event: "[time] cat: msg". *)

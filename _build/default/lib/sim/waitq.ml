@@ -1,0 +1,64 @@
+type 'a entry = { mutable active : bool; resume : 'a -> unit }
+
+type 'a t = { q : 'a entry Queue.t }
+
+let create () = { q = Queue.create () }
+
+let push t resume =
+  let e = { active = true; resume } in
+  Queue.push e t.q;
+  e
+
+let cancel e = e.active <- false
+let is_active e = e.active
+
+(* Dead (cancelled or already-woken) entries stay queued until they reach the
+   head; popping purges them so they never consume a wake-up. *)
+let rec pop_active t =
+  match Queue.take_opt t.q with
+  | None -> None
+  | Some e -> if e.active then Some e else pop_active t
+
+let wake_one t v =
+  match pop_active t with
+  | None -> false
+  | Some e ->
+      e.active <- false;
+      e.resume v;
+      true
+
+let wake_all t v =
+  let rec loop n =
+    match pop_active t with
+    | None -> n
+    | Some e ->
+        e.active <- false;
+        e.resume v;
+        loop (n + 1)
+  in
+  loop 0
+
+let take t =
+  match pop_active t with
+  | None -> None
+  | Some e ->
+      e.active <- false;
+      Some e.resume
+
+let length t =
+  Queue.fold (fun acc e -> if e.active then acc + 1 else acc) 0 t.q
+
+let is_empty t = length t = 0
+
+let wait eng t = Engine.suspend eng (fun resume -> ignore (push t resume))
+
+type 'a timed = Signalled of 'a | Timed_out
+
+let wait_timeout eng t ~timeout =
+  Engine.suspend eng (fun resume ->
+      let entry = push t (fun v -> resume (Signalled v)) in
+      Engine.schedule eng ~after:timeout (fun () ->
+          if is_active entry then begin
+            cancel entry;
+            resume Timed_out
+          end))

@@ -1,0 +1,45 @@
+(** FIFO queues of parked fibers, with cancellation.
+
+    This is the building block for every blocking primitive in the simulator
+    (mutexes, condition variables, futexes, message rings...). An entry can
+    be cancelled (e.g. by a timeout) without disturbing queue order; a
+    cancelled entry never consumes a wake-up. *)
+
+type 'a t
+(** A queue of waiters, each to be resumed with a value of type ['a]. *)
+
+type 'a entry
+
+val create : unit -> 'a t
+
+val push : 'a t -> ('a -> unit) -> 'a entry
+(** Register a resume function, typically obtained from {!Engine.suspend}. *)
+
+val cancel : 'a entry -> unit
+(** Deactivate an entry. Idempotent; no-op if the entry was already woken. *)
+
+val is_active : 'a entry -> bool
+
+val wake_one : 'a t -> 'a -> bool
+(** Resume the oldest active waiter. Returns [false] if none was waiting. *)
+
+val wake_all : 'a t -> 'a -> int
+(** Resume every active waiter, oldest first. Returns how many were woken. *)
+
+val take : 'a t -> ('a -> unit) option
+(** Remove the oldest active waiter {e without} resuming it; the caller
+    becomes responsible for eventually calling the returned resume function
+    (used by futex-requeue to move waiters between queues). *)
+
+val length : 'a t -> int
+(** Number of currently-active waiters. *)
+
+val is_empty : 'a t -> bool
+
+val wait : Engine.t -> 'a t -> 'a
+(** [wait eng q] parks the calling fiber on [q] until woken. *)
+
+type 'a timed = Signalled of 'a | Timed_out
+
+val wait_timeout : Engine.t -> 'a t -> timeout:Time.t -> 'a timed
+(** Park on [q] for at most [timeout]; a timeout cancels the queue entry. *)

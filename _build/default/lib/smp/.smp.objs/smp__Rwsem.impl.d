@@ -1,0 +1,1 @@
+lib/smp/rwsem.ml: Engine Hw Queue Sim

@@ -1,0 +1,1 @@
+lib/smp/rwsem.mli: Engine Hw Sim Time

@@ -1,0 +1,1 @@
+lib/smp/smp_api.ml: Engine Hw Kernelmodel Printf Sim Smp_os

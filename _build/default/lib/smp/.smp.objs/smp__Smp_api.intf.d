@@ -1,0 +1,1 @@
+lib/smp/smp_api.mli: Hw Kernelmodel Sim Smp_os

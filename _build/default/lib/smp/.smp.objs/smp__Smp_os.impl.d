@@ -1,0 +1,1 @@
+lib/smp/smp_os.ml: Array Engine Hashtbl Hw Kernelmodel List Printf Rwsem Sim Time Waitq

@@ -1,0 +1,1 @@
+lib/smp/smp_os.mli: Engine Hashtbl Hw Kernelmodel Rwsem Sim Time Waitq

@@ -1,0 +1,40 @@
+(** Thread-handle API over {!Smp_os}, mirroring [Popcorn.Api] so workloads
+    and benchmarks drive both OS models through the same shapes. *)
+
+module K = Kernelmodel
+
+type thread = { sys : Smp_os.t; proc : Smp_os.process; task : K.Task.t }
+
+val current_core : thread -> Hw.Topology.core
+val tid : thread -> K.Ids.tid
+val pid : thread -> K.Ids.pid
+
+val compute : thread -> Sim.Time.t -> unit
+
+val spawn : thread -> (thread -> unit) -> K.Ids.tid
+(** Clone a thread running the body; the shared scheduler places it. *)
+
+val mmap :
+  thread -> len:int -> prot:K.Vma.prot -> (K.Vma.vma, string) result
+
+val munmap : thread -> start:int -> len:int -> (unit, string) result
+
+val mprotect :
+  thread -> start:int -> len:int -> prot:K.Vma.prot -> (unit, string) result
+
+val read : thread -> addr:int -> (int, string) result
+val write : thread -> addr:int -> (unit, string) result
+
+type wait_result = Smp_os.wait_result = Woken | Timed_out
+
+val futex_wait :
+  thread -> ?timeout:Sim.Time.t -> addr:int -> unit -> wait_result
+
+val futex_wake : thread -> addr:int -> count:int -> int
+
+val fork : thread -> (thread -> unit) -> Smp_os.process
+(** Child process running the body with a COW-inherited address space;
+    reaped when its last thread exits. *)
+
+val start_process : Smp_os.t -> (thread -> unit) -> Smp_os.process
+val wait_exit : Smp_os.t -> Smp_os.process -> unit

@@ -1,0 +1,30 @@
+type t = {
+  tbl : (string, float ref) Hashtbl.t;
+  mutable order : string list; (* reversed insertion order *)
+}
+
+let create () = { tbl = Hashtbl.create 16; order = [] }
+
+let add t name v =
+  match Hashtbl.find_opt t.tbl name with
+  | Some r -> r := !r +. v
+  | None ->
+      Hashtbl.add t.tbl name (ref v);
+      t.order <- name :: t.order
+
+let get t name =
+  match Hashtbl.find_opt t.tbl name with Some r -> !r | None -> 0.
+
+let components t =
+  List.rev_map (fun name -> (name, get t name)) t.order
+
+let total t = List.fold_left (fun acc (_, v) -> acc +. v) 0. (components t)
+
+let pp ~unit fmt t =
+  let tot = total t in
+  let pct v = if tot = 0. then 0. else 100. *. v /. tot in
+  List.iter
+    (fun (name, v) ->
+      Format.fprintf fmt "  %-28s %10.2f%s (%5.1f%%)@\n" name v unit (pct v))
+    (components t);
+  Format.fprintf fmt "  %-28s %10.2f%s@\n" "TOTAL" tot unit

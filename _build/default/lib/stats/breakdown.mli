@@ -1,0 +1,21 @@
+(** Named latency breakdowns, e.g. the phases of one thread migration.
+
+    Components keep insertion order so tables print in pipeline order. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> string -> float -> unit
+(** Accumulate [v] under the component name (creating it on first use). *)
+
+val get : t -> string -> float
+(** Total for a component; 0. if absent. *)
+
+val components : t -> (string * float) list
+(** Insertion order. *)
+
+val total : t -> float
+
+val pp : unit:string -> Format.formatter -> t -> unit
+(** Multi-line "component: value (pct%)" rendering. *)

@@ -1,0 +1,59 @@
+(* 4 sub-buckets per octave over 2^-8 .. 2^55: 256 buckets is plenty. *)
+let sub_per_octave = 4.
+let min_exp = -8.
+let nbuckets = 256
+
+type t = {
+  buckets : int array;
+  mutable n : int;
+  mutable sum : float;
+  mutable mx : float;
+}
+
+let create () = { buckets = Array.make nbuckets 0; n = 0; sum = 0.; mx = 0. }
+
+let bucket_of x =
+  if x <= 0. then 0
+  else
+    let i =
+      int_of_float (Float.round ((Float.log2 x -. min_exp) *. sub_per_octave))
+    in
+    if i < 0 then 0 else if i >= nbuckets then nbuckets - 1 else i
+
+let value_of i = Float.exp2 ((float_of_int i /. sub_per_octave) +. min_exp)
+
+let add t x =
+  assert (x >= 0.);
+  t.buckets.(bucket_of x) <- t.buckets.(bucket_of x) + 1;
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. x;
+  if x > t.mx then t.mx <- x
+
+let count t = t.n
+
+let percentile t p =
+  assert (p >= 0. && p <= 100.);
+  if t.n = 0 then 0.
+  else begin
+    let target =
+      Stdlib.max 1
+        (int_of_float (Float.round (p /. 100. *. float_of_int t.n)))
+    in
+    let rec scan i acc =
+      if i >= nbuckets then t.mx
+      else
+        let acc = acc + t.buckets.(i) in
+        if acc >= target then value_of i else scan (i + 1) acc
+    in
+    scan 0 0
+  end
+
+let median t = percentile t 50.
+let p99 t = percentile t 99.
+let mean t = if t.n = 0 then 0. else t.sum /. float_of_int t.n
+
+let pp ~unit fmt t =
+  if t.n = 0 then Format.fprintf fmt "(no samples)"
+  else
+    Format.fprintf fmt "n=%d p50=%.2f%s p90=%.2f%s p99=%.2f%s max=%.2f%s" t.n
+      (median t) unit (percentile t 90.) unit (p99 t) unit t.mx unit

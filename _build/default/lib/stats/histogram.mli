@@ -1,0 +1,26 @@
+(** Log-bucketed histograms for latency distributions.
+
+    Buckets grow geometrically (base 2 with 4 sub-buckets per octave), giving
+    ~±9% relative error on percentile estimates over a huge dynamic range —
+    the usual choice for microsecond-to-second latency data. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+(** Record one non-negative observation. *)
+
+val count : t -> int
+
+val percentile : t -> float -> float
+(** [percentile t p] for [p] in [\[0,100\]]; 0. when empty. Returns the
+    representative value of the bucket containing the p-th sample. *)
+
+val median : t -> float
+val p99 : t -> float
+
+val mean : t -> float
+
+val pp : unit:string -> Format.formatter -> t -> unit
+(** One-line "p50/p90/p99/max" rendering. *)

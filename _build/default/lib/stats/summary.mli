@@ -1,0 +1,27 @@
+(** Online summary statistics (Welford's algorithm). *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+(** 0. when empty. *)
+
+val variance : t -> float
+(** Sample variance; 0. with fewer than two observations. *)
+
+val stddev : t -> float
+val min : t -> float
+(** [infinity] when empty. *)
+
+val max : t -> float
+(** [neg_infinity] when empty. *)
+
+val total : t -> float
+
+val merge : t -> t -> t
+(** Combine two summaries as if all observations went to one. *)
+
+val pp : unit:string -> Format.formatter -> t -> unit

@@ -1,0 +1,98 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable rows : string list list; (* reversed *)
+}
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg "Table.add_row: column count mismatch";
+  t.rows <- row :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.columns :: rows in
+  let ncols = List.length t.columns in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    all;
+  let buf = Buffer.create 256 in
+  let pad i cell =
+    let w = widths.(i) in
+    let n = String.length cell in
+    if i = 0 then cell ^ String.make (w - n) ' '
+    else String.make (w - n) ' ' ^ cell
+  in
+  let hline () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let emit_row row =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i cell ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (pad i cell);
+        Buffer.add_string buf " |")
+      row;
+    Buffer.add_char buf '\n'
+  in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  hline ();
+  emit_row t.columns;
+  hline ();
+  List.iter emit_row rows;
+  hline ();
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let fmt_ns v =
+  let a = Float.abs v in
+  if a < 1e3 then Printf.sprintf "%.0fns" v
+  else if a < 1e6 then Printf.sprintf "%.2fus" (v /. 1e3)
+  else if a < 1e9 then Printf.sprintf "%.3fms" (v /. 1e6)
+  else Printf.sprintf "%.3fs" (v /. 1e9)
+
+let fmt_rate v =
+  let a = Float.abs v in
+  if a < 1e3 then Printf.sprintf "%.1f/s" v
+  else if a < 1e6 then Printf.sprintf "%.1fK/s" (v /. 1e3)
+  else Printf.sprintf "%.2fM/s" (v /. 1e6)
+
+let fmt_f v = Printf.sprintf "%.2f" v
+
+let series ~title ~x_label curves =
+  let xs =
+    List.concat_map (fun (_, pts) -> List.map fst pts) curves
+    |> List.sort_uniq compare
+  in
+  let t = create ~title ~columns:(x_label :: List.map fst curves) in
+  List.iter
+    (fun x ->
+      let cells =
+        List.map
+          (fun (_, pts) ->
+            match List.assoc_opt x pts with
+            | Some y -> fmt_f y
+            | None -> "-")
+          curves
+      in
+      let x_str =
+        if Float.is_integer x then string_of_int (int_of_float x)
+        else fmt_f x
+      in
+      add_row t (x_str :: cells))
+    xs;
+  t

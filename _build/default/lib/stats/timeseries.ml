@@ -1,0 +1,33 @@
+type t = { bucket_ns : int; tbl : (int, float ref) Hashtbl.t }
+
+let create ~bucket_ns =
+  assert (bucket_ns > 0);
+  { bucket_ns; tbl = Hashtbl.create 64 }
+
+let bump t idx v =
+  match Hashtbl.find_opt t.tbl idx with
+  | Some r -> r := !r +. v
+  | None -> Hashtbl.add t.tbl idx (ref v)
+
+let add t ~at v =
+  assert (at >= 0);
+  bump t (at / t.bucket_ns) v
+
+let add_span t ~from_ns ~until_ns =
+  if until_ns > from_ns then begin
+    let first = from_ns / t.bucket_ns and last = (until_ns - 1) / t.bucket_ns in
+    for idx = first to last do
+      let lo = max from_ns (idx * t.bucket_ns) in
+      let hi = min until_ns ((idx + 1) * t.bucket_ns) in
+      bump t idx (float_of_int (hi - lo))
+    done
+  end
+
+let buckets t =
+  Hashtbl.fold (fun idx r acc -> (idx * t.bucket_ns, !r) :: acc) t.tbl []
+  |> List.sort compare
+
+let normalised t =
+  List.map (fun (at, v) -> (at, v /. float_of_int t.bucket_ns)) (buckets t)
+
+let total t = Hashtbl.fold (fun _ r acc -> acc +. !r) t.tbl 0.

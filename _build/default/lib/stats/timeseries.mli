@@ -1,0 +1,27 @@
+(** Time-bucketed accumulators, for utilisation and rate curves.
+
+    A timeseries divides time into fixed-width buckets and accumulates a
+    float per bucket (e.g. busy nanoseconds, operation counts). Reporting
+    yields (bucket_start, value) pairs, optionally normalised by the
+    bucket width to a rate/utilisation. *)
+
+type t
+
+val create : bucket_ns:int -> t
+(** [bucket_ns > 0]. *)
+
+val add : t -> at:int -> float -> unit
+(** Accumulate [v] into the bucket containing time [at] (ns, >= 0). *)
+
+val add_span : t -> from_ns:int -> until_ns:int -> unit
+(** Accumulate an interval (e.g. a busy period), split exactly across the
+    buckets it covers. No-op when [until_ns <= from_ns]. *)
+
+val buckets : t -> (int * float) list
+(** Non-empty buckets, ascending by start time. *)
+
+val normalised : t -> (int * float) list
+(** Like {!buckets} but each value divided by the bucket width — an
+    interval-accumulated series becomes utilisation in [0,1]. *)
+
+val total : t -> float

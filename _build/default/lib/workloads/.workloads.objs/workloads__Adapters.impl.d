@@ -1,0 +1,1 @@
+lib/workloads/adapters.ml: Kernelmodel Os_intf Popcorn Smp

@@ -1,0 +1,1 @@
+lib/workloads/adapters.mli: Os_intf Popcorn Smp

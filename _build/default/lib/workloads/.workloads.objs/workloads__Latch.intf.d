@@ -1,0 +1,1 @@
+lib/workloads/latch.mli: Sim

@@ -1,0 +1,1 @@
+lib/workloads/loads.ml: Latch Os_intf Result Sim Time

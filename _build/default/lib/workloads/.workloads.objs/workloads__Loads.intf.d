@@ -1,0 +1,1 @@
+lib/workloads/loads.mli: Os_intf Sim

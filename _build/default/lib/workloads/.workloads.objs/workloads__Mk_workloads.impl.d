@@ -1,0 +1,1 @@
+lib/workloads/mk_workloads.ml: Array Kernelmodel Latch Multikernel Sim Time

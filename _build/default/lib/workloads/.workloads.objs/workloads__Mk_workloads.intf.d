@@ -1,0 +1,1 @@
+lib/workloads/mk_workloads.mli: Multikernel Sim

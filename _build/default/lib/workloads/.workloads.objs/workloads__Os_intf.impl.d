@@ -1,0 +1,1 @@
+lib/workloads/os_intf.ml: Sim

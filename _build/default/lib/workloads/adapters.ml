@@ -1,0 +1,62 @@
+(** {!Os_intf.S} instances for the Popcorn and SMP models. *)
+
+module Popcorn_os : Os_intf.S with type thread = Popcorn.Api.thread = struct
+  type thread = Popcorn.Api.thread
+
+  let name = "popcorn"
+
+  let spawn th ?target body = ignore (Popcorn.Api.spawn th ?target body)
+  let compute = Popcorn.Api.compute
+
+  let mmap th ~len =
+    match Popcorn.Api.mmap th ~len ~prot:Kernelmodel.Vma.prot_rw with
+    | Ok vma -> Ok vma.Kernelmodel.Vma.start
+    | Error e -> Error e
+
+  let munmap th ~start ~len = Popcorn.Api.munmap th ~start ~len
+  let read th ~addr = Popcorn.Api.read th ~addr
+  let write th ~addr = Popcorn.Api.write th ~addr
+
+  let futex_wait th ~addr =
+    match Popcorn.Api.futex_wait th ~addr () with
+    | Popcorn.Api.Woken -> ()
+    | Popcorn.Api.Timed_out -> assert false
+
+  let futex_wake th ~addr ~count = Popcorn.Api.futex_wake th ~addr ~count
+
+  let nplaces th = Popcorn.Types.nkernels th.Popcorn.Api.cluster
+
+  let migrate =
+    Some (fun th ~dst -> ignore (Popcorn.Api.migrate th ~dst))
+end
+
+module Smp_os : Os_intf.S with type thread = Smp.Smp_api.thread = struct
+  type thread = Smp.Smp_api.thread
+
+  let name = "smp-linux"
+
+  let spawn th ?target body =
+    ignore target;
+    ignore (Smp.Smp_api.spawn th body)
+
+  let compute = Smp.Smp_api.compute
+
+  let mmap th ~len =
+    match Smp.Smp_api.mmap th ~len ~prot:Kernelmodel.Vma.prot_rw with
+    | Ok vma -> Ok vma.Kernelmodel.Vma.start
+    | Error e -> Error e
+
+  let munmap th ~start ~len = Smp.Smp_api.munmap th ~start ~len
+  let read th ~addr = Smp.Smp_api.read th ~addr
+  let write th ~addr = Smp.Smp_api.write th ~addr
+
+  let futex_wait th ~addr =
+    match Smp.Smp_api.futex_wait th ~addr () with
+    | Smp.Smp_api.Woken -> ()
+    | Smp.Smp_api.Timed_out -> assert false
+
+  let futex_wake th ~addr ~count = Smp.Smp_api.futex_wake th ~addr ~count
+
+  let nplaces _ = 1
+  let migrate = None
+end

@@ -1,0 +1,5 @@
+(** {!Os_intf.S} instances for the Popcorn and SMP models, so benchmarks
+    run literally the same program on both. *)
+
+module Popcorn_os : Os_intf.S with type thread = Popcorn.Api.thread
+module Smp_os : Os_intf.S with type thread = Smp.Smp_api.thread

@@ -1,0 +1,22 @@
+(** Harness-level completion latch.
+
+    Used by workload drivers to join their workers without charging any OS
+    cost: the join is measurement scaffolding (the stopwatch around the
+    workload), not part of the benchmarked system. *)
+
+type t = {
+  eng : Sim.Engine.t;
+  mutable remaining : int;
+  waiters : unit Sim.Waitq.t;
+}
+
+let create eng n =
+  assert (n >= 0);
+  { eng; remaining = n; waiters = Sim.Waitq.create () }
+
+let arrive t =
+  assert (t.remaining > 0);
+  t.remaining <- t.remaining - 1;
+  if t.remaining = 0 then ignore (Sim.Waitq.wake_all t.waiters ())
+
+let wait t = if t.remaining > 0 then Sim.Waitq.wait t.eng t.waiters

@@ -1,0 +1,12 @@
+(** Harness-level completion latch.
+
+    Joins workload workers without charging any OS cost: the join is the
+    stopwatch around the workload, not part of the benchmarked system. *)
+
+type t
+
+val create : Sim.Engine.t -> int -> t
+(** [create eng n]: opens after [n] arrivals. *)
+
+val arrive : t -> unit
+val wait : t -> unit

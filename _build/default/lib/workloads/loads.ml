@@ -1,0 +1,184 @@
+(** Workload generators, parametric over the OS model.
+
+    These are the programs the evaluation runs on both Popcorn and SMP
+    Linux. Workers are spread round-robin across placement targets
+    (kernels) on Popcorn; SMP ignores placement. *)
+
+open Sim
+
+let page = 4096
+
+module Make (Os : Os_intf.S) = struct
+  let place th i = i mod Os.nplaces th
+
+  (** Run [workers] group members, worker [i] on place [i mod places],
+      then join. Returns after every worker finished. *)
+  let run_workers eng (root : Os.thread) ~workers body =
+    let latch = Latch.create eng workers in
+    for i = 0 to workers - 1 do
+      Os.spawn root ~target:(place root i) (fun th ->
+          body i th;
+          Latch.arrive latch)
+    done;
+    Latch.wait latch
+
+  (** F2: thread-creation storm — [spawners] threads each create
+      [per_spawner] short-lived group members as fast as they can. *)
+  let spawn_storm eng (root : Os.thread) ~spawners ~per_spawner =
+    run_workers eng root ~workers:spawners (fun i th ->
+        let latch = Latch.create eng per_spawner in
+        for j = 0 to per_spawner - 1 do
+          Os.spawn th
+            ~target:(place th (i + j))
+            (fun child ->
+              Os.compute child (Time.us 1);
+              Latch.arrive latch)
+        done;
+        Latch.wait latch)
+
+  (** F3: concurrent mmap/munmap churn — [workers] threads each perform
+      [ops] map-touch-unmap cycles of [pages] pages. *)
+  let mmap_stress eng (root : Os.thread) ~workers ~ops ~pages =
+    run_workers eng root ~workers (fun _i th ->
+        for _ = 1 to ops do
+          match Os.mmap th ~len:(pages * page) with
+          | Error e -> failwith e
+          | Ok start ->
+              (match Os.write th ~addr:start with
+              | Ok () -> ()
+              | Error e -> failwith e);
+              (match Os.munmap th ~start ~len:(pages * page) with
+              | Ok () -> ()
+              | Error e -> failwith e)
+        done)
+
+  (** F4 helper: touch [pages] consecutive pages from [base]. *)
+  let page_walk (th : Os.thread) ~base ~pages ~write =
+    for i = 0 to pages - 1 do
+      let addr = base + (i * page) in
+      let r =
+        if write then Os.write th ~addr
+        else Result.map (fun _ -> ()) (Os.read th ~addr)
+      in
+      match r with Ok () -> () | Error e -> failwith e
+    done
+
+  (** F5/F6: futex ping-pong pairs. Each pair does [rounds] round trips:
+      A wakes B and sleeps; B wakes A and sleeps. Wakes that find nobody
+      (startup races) are retried with a tiny backoff — the same loop a
+      userspace semaphore performs. *)
+  let futex_pingpong eng (root : Os.thread) ~pairs ~rounds =
+    let base =
+      match Os.mmap root ~len:(((2 * pairs) + 1) * page) with
+      | Ok a -> a
+      | Error e -> failwith e
+    in
+    let latch = Latch.create eng (2 * pairs) in
+    let addr_of slot = base + (slot * page) in
+    let wake_until th addr =
+      while Os.futex_wake th ~addr ~count:1 = 0 do
+        Os.compute th (Time.us 2)
+      done
+    in
+    for p = 0 to pairs - 1 do
+      let a_addr = addr_of (2 * p) and b_addr = addr_of ((2 * p) + 1) in
+      (* A starts the rally; B echoes. *)
+      Os.spawn root ~target:(place root (2 * p)) (fun th ->
+          for _ = 1 to rounds do
+            wake_until th b_addr;
+            Os.futex_wait th ~addr:a_addr
+          done;
+          Latch.arrive latch);
+      Os.spawn root
+        ~target:(place root ((2 * p) + 1))
+        (fun th ->
+          for _ = 1 to rounds do
+            Os.futex_wait th ~addr:b_addr;
+            wake_until th a_addr
+          done;
+          Latch.arrive latch)
+    done;
+    Latch.wait latch
+
+  (* ---- F6 application classes ---- *)
+
+  (** CPU-bound (NPB EP-like): pure parallel compute, one join. *)
+  let app_cpu_bound eng (root : Os.thread) ~workers ~iters =
+    run_workers eng root ~workers (fun _i th ->
+        for _ = 1 to iters do
+          Os.compute th (Time.us 200)
+        done)
+
+  (** Memory-management-bound (web-server / JVM-like allocation churn):
+      compute interleaved with mmap/touch/munmap of a working buffer. *)
+  let app_mm_bound eng (root : Os.thread) ~workers ~iters =
+    run_workers eng root ~workers (fun _i th ->
+        for _ = 1 to iters do
+          Os.compute th (Time.us 30);
+          match Os.mmap th ~len:(4 * page) with
+          | Error e -> failwith e
+          | Ok start ->
+              page_walk th ~base:start ~pages:4 ~write:true;
+              (match Os.munmap th ~start ~len:(4 * page) with
+              | Ok () -> ()
+              | Error e -> failwith e)
+        done)
+
+  (** Communication-bound (stencil-like): each worker repeatedly writes
+      its own tile and reads its right neighbour's — true data sharing
+      that the coherence protocol must mediate every iteration. *)
+  let app_comm_bound eng (root : Os.thread) ~workers ~iters =
+    let base =
+      match Os.mmap root ~len:(workers * page) with
+      | Ok a -> a
+      | Error e -> failwith e
+    in
+    let tile w = base + (w mod workers * page) in
+    run_workers eng root ~workers (fun w th ->
+        for _ = 1 to iters do
+          Os.compute th (Time.us 20);
+          (match Os.write th ~addr:(tile w) with
+          | Ok () -> ()
+          | Error e -> failwith e);
+          match Os.read th ~addr:(tile (w + 1)) with
+          | Ok _ -> ()
+          | Error e -> failwith e
+        done)
+
+  (** Synchronisation-bound (pipeline-like): ping-pong pairs with a little
+      compute per round. *)
+  let app_sync_bound eng (root : Os.thread) ~workers ~iters =
+    let pairs = max 1 (workers / 2) in
+    let base =
+      match Os.mmap root ~len:(((2 * pairs) + 1) * page) with
+      | Ok a -> a
+      | Error e -> failwith e
+    in
+    let latch = Latch.create eng (2 * pairs) in
+    let addr_of slot = base + (slot * page) in
+    let wake_until th addr =
+      while Os.futex_wake th ~addr ~count:1 = 0 do
+        Os.compute th (Time.us 2)
+      done
+    in
+    for p = 0 to pairs - 1 do
+      let a_addr = addr_of (2 * p) and b_addr = addr_of ((2 * p) + 1) in
+      Os.spawn root ~target:(place root (2 * p)) (fun th ->
+          for _ = 1 to iters do
+            Os.compute th (Time.us 20);
+            wake_until th b_addr;
+            Os.futex_wait th ~addr:a_addr
+          done;
+          Latch.arrive latch);
+      Os.spawn root
+        ~target:(place root ((2 * p) + 1))
+        (fun th ->
+          for _ = 1 to iters do
+            Os.futex_wait th ~addr:b_addr;
+            Os.compute th (Time.us 20);
+            wake_until th a_addr
+          done;
+          Latch.arrive latch)
+    done;
+    Latch.wait latch
+end

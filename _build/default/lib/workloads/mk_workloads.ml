@@ -1,0 +1,126 @@
+(** Multikernel (Barrelfish-like) versions of the benchmark workloads.
+
+    These are {e rewritten} around explicit domains and channels — a
+    multikernel cannot run the shared-memory pthread programs unchanged,
+    which is exactly the programmability gap the paper's replicated-kernel
+    design closes. Functionally each produces the same amount of work as
+    its shared-memory counterpart in [Loads]. *)
+
+open Sim
+module Mk = Multikernel
+
+let page = 4096
+
+(** F2 analogue: spawn [spawners] dispatchers; each spans [per_spawner]
+    further dispatchers (round-robin over cores) doing trivial work. *)
+let spawn_storm (sys : Mk.t) eng ~cores ~spawners ~per_spawner ~on_done =
+  Mk.start_domain sys ~core:0 (fun d0 ->
+      let spawner_latch = Latch.create eng spawners in
+      for i = 0 to spawners - 1 do
+        Mk.spawn_dispatcher d0 ~core:(i mod cores) (fun di ->
+            let children = Latch.create eng per_spawner in
+            for j = 0 to per_spawner - 1 do
+              Mk.spawn_dispatcher di
+                ~core:((i + j) mod cores)
+                (fun dj ->
+                  Mk.compute dj (Time.us 1);
+                  Latch.arrive children)
+            done;
+            Latch.wait children;
+            Latch.arrive spawner_latch)
+      done;
+      Latch.wait spawner_latch;
+      on_done ())
+
+(** F6 CPU-bound analogue: one dispatcher per worker, pure compute. *)
+let app_cpu_bound (sys : Mk.t) eng ~cores ~workers ~iters ~on_done =
+  Mk.start_domain sys ~core:0 (fun d0 ->
+      let latch = Latch.create eng workers in
+      for i = 0 to workers - 1 do
+        Mk.spawn_dispatcher d0 ~core:(i mod cores) (fun d ->
+            for _ = 1 to iters do
+              Mk.compute d (Time.us 200)
+            done;
+            Latch.arrive latch)
+      done;
+      Latch.wait latch;
+      on_done ())
+
+(** F6 mm-bound analogue: allocation churn is purely local per dispatcher
+    (private address spaces — no consistency to maintain). *)
+let app_mm_bound (sys : Mk.t) eng ~cores ~workers ~iters ~on_done =
+  Mk.start_domain sys ~core:0 (fun d0 ->
+      let latch = Latch.create eng workers in
+      for i = 0 to workers - 1 do
+        Mk.spawn_dispatcher d0 ~core:(i mod cores) (fun d ->
+            for _ = 1 to iters do
+              Mk.compute d (Time.us 30);
+              (match Mk.mmap d ~len:(4 * page) ~prot:Kernelmodel.Vma.prot_rw with
+              | Error e -> failwith e
+              | Ok vma ->
+                  let start = vma.Kernelmodel.Vma.start in
+                  for p = 0 to 3 do
+                    match
+                      Mk.touch d ~addr:(start + (p * page))
+                        ~access:Kernelmodel.Fault.Write
+                    with
+                    | Ok _ -> ()
+                    | Error e -> failwith e
+                  done;
+                  (match Mk.munmap d ~start ~len:(4 * page) with
+                  | Ok () -> ()
+                  | Error e -> failwith e))
+            done;
+            Latch.arrive latch)
+      done;
+      Latch.wait latch;
+      on_done ())
+
+(** F6 comm-bound analogue: neighbour exchange by explicit messages — the
+    multikernel's only option, since dispatchers share no memory. Each
+    round a worker computes, sends its tile (one page) to its left
+    neighbour and receives its right neighbour's. *)
+let app_comm_bound (sys : Mk.t) eng ~cores ~workers ~iters ~on_done =
+  Mk.start_domain sys ~core:0 (fun d0 ->
+      let latch = Latch.create eng workers in
+      let chans = Array.init workers (fun _ -> Mk.make_chan sys) in
+      for w = 0 to workers - 1 do
+        Mk.spawn_dispatcher d0 ~core:(w mod cores) (fun d ->
+            let left = (w + workers - 1) mod workers in
+            for _ = 1 to iters do
+              Mk.compute d (Time.us 20);
+              Mk.chan_send d chans.(left) ~dst_core:(left mod cores) ~data:w
+                ~bytes:page;
+              ignore (Mk.chan_recv d chans.(w))
+            done;
+            Latch.arrive latch)
+      done;
+      Latch.wait latch;
+      on_done ())
+
+(** F6 sync-bound analogue: channel-based ping-pong between dispatcher
+    pairs (messages instead of futexes). *)
+let app_sync_bound (sys : Mk.t) eng ~cores ~workers ~iters ~on_done =
+  Mk.start_domain sys ~core:0 (fun d0 ->
+      let pairs = max 1 (workers / 2) in
+      let latch = Latch.create eng (2 * pairs) in
+      for p = 0 to pairs - 1 do
+        let core_a = 2 * p mod cores and core_b = ((2 * p) + 1) mod cores in
+        let chan_a = Mk.make_chan sys and chan_b = Mk.make_chan sys in
+        Mk.spawn_dispatcher d0 ~core:core_a (fun d ->
+            for _ = 1 to iters do
+              Mk.compute d (Time.us 20);
+              Mk.chan_send d chan_b ~dst_core:core_b ~data:1 ~bytes:64;
+              ignore (Mk.chan_recv d chan_a)
+            done;
+            Latch.arrive latch);
+        Mk.spawn_dispatcher d0 ~core:core_b (fun d ->
+            for _ = 1 to iters do
+              ignore (Mk.chan_recv d chan_b);
+              Mk.compute d (Time.us 20);
+              Mk.chan_send d chan_a ~dst_core:core_a ~data:1 ~bytes:64
+            done;
+            Latch.arrive latch)
+      done;
+      Latch.wait latch;
+      on_done ())

@@ -1,0 +1,25 @@
+(** Multikernel (Barrelfish-like) versions of the benchmark workloads —
+    rewritten around explicit domains and channels, since a multikernel
+    cannot run the shared-memory programs unchanged (the programmability
+    gap the paper's design closes). Each call invokes [on_done] once the
+    workload completes. *)
+
+val spawn_storm :
+  Multikernel.t -> Sim.Engine.t -> cores:int -> spawners:int ->
+  per_spawner:int -> on_done:(unit -> unit) -> Multikernel.domain
+
+val app_cpu_bound :
+  Multikernel.t -> Sim.Engine.t -> cores:int -> workers:int -> iters:int ->
+  on_done:(unit -> unit) -> Multikernel.domain
+
+val app_mm_bound :
+  Multikernel.t -> Sim.Engine.t -> cores:int -> workers:int -> iters:int ->
+  on_done:(unit -> unit) -> Multikernel.domain
+
+val app_comm_bound :
+  Multikernel.t -> Sim.Engine.t -> cores:int -> workers:int -> iters:int ->
+  on_done:(unit -> unit) -> Multikernel.domain
+
+val app_sync_bound :
+  Multikernel.t -> Sim.Engine.t -> cores:int -> workers:int -> iters:int ->
+  on_done:(unit -> unit) -> Multikernel.domain

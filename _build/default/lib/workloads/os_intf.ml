@@ -1,0 +1,37 @@
+(** Common surface over the Popcorn and SMP-Linux models.
+
+    Benchmarks drive both OS models through this signature so every
+    comparison runs literally the same program. [target] placement hints
+    name a kernel for Popcorn and are ignored by SMP (its single scheduler
+    domain places threads itself) — matching how the same pthread program
+    behaves on both systems. The multikernel baseline is deliberately NOT
+    behind this interface: a multikernel cannot run the shared-memory
+    program unchanged, which is the paper's point; its benchmarks live in
+    [Mk_workloads]. *)
+
+module type S = sig
+  type thread
+
+  val name : string
+
+  val spawn : thread -> ?target:int -> (thread -> unit) -> unit
+  (** Clone a group member running the body; returns immediately. *)
+
+  val compute : thread -> Sim.Time.t -> unit
+
+  val mmap : thread -> len:int -> (int, string) result
+  (** Anonymous RW mapping; returns the start address. *)
+
+  val munmap : thread -> start:int -> len:int -> (unit, string) result
+  val read : thread -> addr:int -> (int, string) result
+  val write : thread -> addr:int -> (unit, string) result
+
+  val futex_wait : thread -> addr:int -> unit
+  val futex_wake : thread -> addr:int -> count:int -> int
+
+  val nplaces : thread -> int
+  (** Number of placement targets (kernels for Popcorn, 1 for SMP). *)
+
+  val migrate : (thread -> dst:int -> unit) option
+  (** Thread migration, when the OS supports it. *)
+end

@@ -1,0 +1,1 @@
+test/test_coherence.ml: Alcotest Api Array Cluster Hashtbl Hw Kernelmodel List Msg Popcorn Printf QCheck QCheck_alcotest Sim Types Workloads

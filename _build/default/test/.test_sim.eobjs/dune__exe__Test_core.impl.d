@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Api Cluster Hw Kernelmodel Migration Popcorn Sim Types

@@ -1,0 +1,1 @@
+test/test_features.ml: Alcotest Api Array Balancer Cluster Hashtbl Hw Kernelmodel List Migration Msg Option Popcorn Printf QCheck QCheck_alcotest Sim Types Vfs Workloads

@@ -1,0 +1,1 @@
+test/test_fork.ml: Alcotest Api Cluster Hw Kernelmodel Popcorn Sim Smp Types Workloads

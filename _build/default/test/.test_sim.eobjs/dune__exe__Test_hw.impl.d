@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Engine Hw List QCheck QCheck_alcotest Sim Time

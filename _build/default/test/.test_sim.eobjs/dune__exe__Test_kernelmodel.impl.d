@@ -1,0 +1,1 @@
+test/test_kernelmodel.ml: Alcotest Array Engine Hw Kernelmodel List Prng QCheck QCheck_alcotest Sim Time

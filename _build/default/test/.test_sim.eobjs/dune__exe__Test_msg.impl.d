@@ -1,0 +1,1 @@
+test/test_msg.ml: Alcotest Engine Hashtbl Hw List Msg Option Prng QCheck QCheck_alcotest Sim Time

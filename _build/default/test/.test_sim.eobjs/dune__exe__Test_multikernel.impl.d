@@ -1,0 +1,1 @@
+test/test_multikernel.ml: Alcotest Engine Hw Kernelmodel List Multikernel Sim Time

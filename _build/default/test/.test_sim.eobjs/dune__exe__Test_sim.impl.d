@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Barrier Buffer Channel Cond Eheap Engine List Mutex Prng QCheck QCheck_alcotest Semaphore Sim Time Trace Waitq

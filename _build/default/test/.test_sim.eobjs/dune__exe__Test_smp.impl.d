@@ -1,0 +1,1 @@
+test/test_smp.ml: Alcotest Engine Hw Kernelmodel List Printf Sim Smp Time

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Engine Experiments Hw List Multikernel Popcorn Sim Smp Workloads

@@ -1,0 +1,110 @@
+(* Integration smoke tests for the whole Popcorn stack: boot a cluster,
+   create processes, spawn across kernels, migrate, fault pages, futex. *)
+
+open Popcorn
+
+let mk_cluster ?(kernels = 4) ?(cores_per_kernel = 4) ?opts () =
+  let machine =
+    Hw.Machine.create ~sockets:2
+      ~cores_per_socket:(kernels * cores_per_kernel / 2)
+      ()
+  in
+  let cluster = Cluster.boot ?opts machine ~kernels ~cores_per_kernel in
+  (machine, cluster)
+
+let run machine = Sim.Engine.run machine.Hw.Machine.eng
+
+let test_boot () =
+  let _machine, cluster = mk_cluster () in
+  Alcotest.(check int) "kernels" 4 (Types.nkernels cluster)
+
+let test_spawn_and_migrate () =
+  let machine, cluster = mk_cluster () in
+  let result = ref None in
+  Sim.Engine.spawn machine.Hw.Machine.eng (fun () ->
+      let proc =
+        Api.start_process cluster ~origin:0 (fun th ->
+            Api.compute th (Sim.Time.us 10);
+            let b = Api.migrate th ~dst:2 in
+            Alcotest.(check bool) "total positive" true (b.Migration.total_ns > 0);
+            Alcotest.(check int) "now on kernel 2" 2
+              th.Api.task.Kernelmodel.Task.kernel;
+            Api.compute th (Sim.Time.us 10);
+            result := Some b)
+      in
+      Api.wait_exit cluster proc);
+  run machine;
+  match !result with
+  | None -> Alcotest.fail "thread did not finish"
+  | Some b ->
+      Alcotest.(check bool) "import measured" true (b.Migration.import_ns > 0)
+
+let test_remote_spawn_and_memory () =
+  let machine, cluster = mk_cluster () in
+  let done_ = ref false in
+  Sim.Engine.spawn machine.Hw.Machine.eng (fun () ->
+      let proc =
+        Api.start_process cluster ~origin:0 (fun th ->
+            (* Map a region, write locally, spawn a remote thread that
+               reads it: must see the committed version. *)
+            let vma =
+              match Api.mmap th ~len:(16 * 4096) ~prot:Kernelmodel.Vma.prot_rw with
+              | Ok v -> v
+              | Error e -> Alcotest.fail e
+            in
+            let addr = vma.Kernelmodel.Vma.start in
+            (match Api.write th ~addr with
+            | Ok () -> ()
+            | Error e -> Alcotest.fail e);
+            let child_done = ref false in
+            let _tid =
+              Api.spawn th ~target:1 (fun child ->
+                  (match Api.read child ~addr with
+                  | Ok v -> Alcotest.(check int) "coherent read" 1 v
+                  | Error e -> Alcotest.fail e);
+                  child_done := true)
+            in
+            while not !child_done do
+              Api.compute th (Sim.Time.us 50)
+            done)
+      in
+      Api.wait_exit cluster proc;
+      done_ := true);
+  run machine;
+  Alcotest.(check bool) "completed" true !done_
+
+let test_futex_cross_kernel () =
+  let machine, cluster = mk_cluster () in
+  let woken = ref false in
+  Sim.Engine.spawn machine.Hw.Machine.eng (fun () ->
+      let proc =
+        Api.start_process cluster ~origin:0 (fun th ->
+            let addr = 0x800000 in
+            let _tid =
+              Api.spawn th ~target:3 (fun child ->
+                  match Api.futex_wait child ~addr () with
+                  | Api.Woken -> woken := true
+                  | Api.Timed_out -> Alcotest.fail "unexpected timeout")
+            in
+            Api.compute th (Sim.Time.ms 1);
+            let n = ref 0 in
+            while !n = 0 do
+              n := Api.futex_wake th ~addr ~count:1;
+              if !n = 0 then Api.compute th (Sim.Time.us 100)
+            done)
+      in
+      Api.wait_exit cluster proc);
+  run machine;
+  Alcotest.(check bool) "woken" true !woken
+
+let () =
+  Alcotest.run "popcorn-integration"
+    [
+      ( "smoke",
+        [
+          Alcotest.test_case "boot" `Quick test_boot;
+          Alcotest.test_case "spawn+migrate" `Quick test_spawn_and_migrate;
+          Alcotest.test_case "remote memory" `Quick test_remote_spawn_and_memory;
+          Alcotest.test_case "cross-kernel futex" `Quick test_futex_cross_kernel;
+        ] );
+    ]

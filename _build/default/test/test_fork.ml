@@ -1,0 +1,170 @@
+(* Tests for fork(): COW inheritance, isolation, remote-member forks,
+   nesting, and frame reaping on both OS models. *)
+
+open Popcorn
+module K = Kernelmodel
+
+let page = 4096
+
+let mk ?opts () =
+  let machine = Hw.Machine.create ~sockets:2 ~cores_per_socket:8 () in
+  (machine, Cluster.boot ?opts machine ~kernels:4 ~cores_per_kernel:4)
+
+let run machine = Sim.Engine.run machine.Hw.Machine.eng
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+
+let test_child_inherits_and_isolates () =
+  let machine, cluster = mk () in
+  Sim.Engine.spawn machine.Hw.Machine.eng (fun () ->
+      let proc =
+        Api.start_process cluster ~origin:0 (fun th ->
+            let vma = ok (Api.mmap th ~len:(2 * page) ~prot:K.Vma.prot_rw) in
+            let addr = vma.K.Vma.start in
+            ok (Api.write th ~addr);
+            ok (Api.write th ~addr);
+            let child_done = Workloads.Latch.create (Types.eng cluster) 1 in
+            let child =
+              Api.fork th (fun c ->
+                  Alcotest.(check bool) "new pid" true (Api.pid c <> Api.pid th);
+                  (* Inherited contents... *)
+                  Alcotest.(check int) "inherits v2" 2 (ok (Api.read c ~addr));
+                  (* ...but writes are private. *)
+                  ok (Api.write c ~addr);
+                  Alcotest.(check int) "child sees v3" 3 (ok (Api.read c ~addr));
+                  Workloads.Latch.arrive child_done)
+            in
+            Workloads.Latch.wait child_done;
+            Alcotest.(check int) "parent unaffected" 2 (ok (Api.read th ~addr));
+            Api.wait_exit cluster child)
+      in
+      Api.wait_exit cluster proc);
+  run machine
+
+let test_fork_from_remote_member () =
+  let machine, cluster = mk () in
+  Sim.Engine.spawn machine.Hw.Machine.eng (fun () ->
+      let proc =
+        Api.start_process cluster ~origin:0 (fun th ->
+            let vma = ok (Api.mmap th ~len:page ~prot:K.Vma.prot_rw) in
+            ok (Api.write th ~addr:vma.K.Vma.start);
+            let latch = Workloads.Latch.create (Types.eng cluster) 1 in
+            ignore
+              (Api.spawn th ~target:2 (fun member ->
+                   let child =
+                     Api.fork member (fun c ->
+                         (* Child is homed where the forker ran, with the
+                            full (lazily-replicated!) parent layout. *)
+                         Alcotest.(check int) "child origin" 2
+                           c.Api.proc.Types.origin;
+                         Alcotest.(check int) "inherited page" 1
+                           (ok (Api.read c ~addr:vma.K.Vma.start)))
+                   in
+                   Alcotest.(check int) "pid from kernel 2's slice" 2
+                     (K.Ids.owner_kernel ~stride:4 child.Types.pid);
+                   Api.wait_exit member.Api.cluster child;
+                   Workloads.Latch.arrive latch));
+            Workloads.Latch.wait latch)
+      in
+      Api.wait_exit cluster proc);
+  run machine
+
+let test_nested_fork () =
+  let machine, cluster = mk () in
+  let generations = ref 0 in
+  Sim.Engine.spawn machine.Hw.Machine.eng (fun () ->
+      let proc =
+        Api.start_process cluster ~origin:0 (fun th ->
+            let vma = ok (Api.mmap th ~len:page ~prot:K.Vma.prot_rw) in
+            ok (Api.write th ~addr:vma.K.Vma.start);
+            let c1 =
+              Api.fork th (fun child ->
+                  incr generations;
+                  let c2 =
+                    Api.fork child (fun grandchild ->
+                        incr generations;
+                        Alcotest.(check int) "grandchild inherits" 1
+                          (ok (Api.read grandchild ~addr:vma.K.Vma.start)))
+                  in
+                  Api.wait_exit child.Api.cluster c2)
+            in
+            Api.wait_exit cluster c1)
+      in
+      Api.wait_exit cluster proc);
+  run machine;
+  Alcotest.(check int) "two generations ran" 2 !generations
+
+let test_reap_frees_frames () =
+  let opts = { Types.default_options with Types.reap_on_exit = true } in
+  let machine, cluster = mk ~opts () in
+  let baseline = ref 0 and after = ref 0 in
+  Sim.Engine.spawn machine.Hw.Machine.eng (fun () ->
+      baseline := Hw.Memory.used_count machine.Hw.Machine.mem;
+      let proc =
+        Api.start_process cluster ~origin:0 (fun th ->
+            let vma = ok (Api.mmap th ~len:(8 * page) ~prot:K.Vma.prot_rw) in
+            for i = 0 to 7 do
+              ok (Api.write th ~addr:(vma.K.Vma.start + (i * page)))
+            done;
+            (* Spread pages onto another kernel too. *)
+            let latch = Workloads.Latch.create (Types.eng cluster) 1 in
+            ignore
+              (Api.spawn th ~target:3 (fun c ->
+                   for i = 0 to 7 do
+                     ignore (ok (Api.read c ~addr:(vma.K.Vma.start + (i * page))))
+                   done;
+                   Workloads.Latch.arrive latch));
+            Workloads.Latch.wait latch)
+      in
+      Api.wait_exit cluster proc;
+      (* Reap notifications are async; let them drain. *)
+      Sim.Engine.sleep machine.Hw.Machine.eng (Sim.Time.ms 1);
+      after := Hw.Memory.used_count machine.Hw.Machine.mem);
+  run machine;
+  Alcotest.(check int) "all frames returned" !baseline !after
+
+let test_smp_fork_and_reap () =
+  let machine = Hw.Machine.create ~sockets:2 ~cores_per_socket:8 () in
+  let sys = Smp.Smp_os.boot machine in
+  let baseline = ref 0 and after = ref 0 in
+  Sim.Engine.spawn machine.Hw.Machine.eng (fun () ->
+      baseline := Hw.Memory.used_count machine.Hw.Machine.mem;
+      let proc =
+        Smp.Smp_api.start_process sys (fun th ->
+            let vma = ok (Smp.Smp_api.mmap th ~len:(2 * page) ~prot:K.Vma.prot_rw) in
+            let addr = vma.K.Vma.start in
+            ok (Smp.Smp_api.write th ~addr);
+            let child_done = ref false in
+            let child =
+              Smp.Smp_api.fork th (fun c ->
+                  Alcotest.(check int) "smp child inherits" 1
+                    (ok (Smp.Smp_api.read c ~addr));
+                  ok (Smp.Smp_api.write c ~addr);
+                  child_done := true)
+            in
+            Smp.Smp_api.wait_exit sys child;
+            Alcotest.(check bool) "child ran" true !child_done;
+            Alcotest.(check int) "parent isolated" 1
+              (ok (Smp.Smp_api.read th ~addr)))
+      in
+      Smp.Smp_api.wait_exit sys proc;
+      after := Hw.Memory.used_count machine.Hw.Machine.mem);
+  run machine;
+  (* The parent's frames remain (no reap for the root in this test), but
+     the child's private copies must be gone. *)
+  Alcotest.(check bool) "child frames reaped" true (!after <= !baseline + 2)
+
+let () =
+  Alcotest.run "fork"
+    [
+      ( "popcorn",
+        [
+          Alcotest.test_case "inherit + isolate" `Quick
+            test_child_inherits_and_isolates;
+          Alcotest.test_case "fork from remote member" `Quick
+            test_fork_from_remote_member;
+          Alcotest.test_case "nested" `Quick test_nested_fork;
+          Alcotest.test_case "reap frees frames" `Quick test_reap_frees_frames;
+        ] );
+      ( "smp",
+        [ Alcotest.test_case "fork + reap" `Quick test_smp_fork_and_reap ] );
+    ]

@@ -1,0 +1,374 @@
+(* Tests for the kernel machinery: ids, contexts, vma trees, page tables,
+   fault classification, futexes, scheduler. *)
+
+open Sim
+module K = Kernelmodel
+
+let page = 4096
+
+(* --- ids --- *)
+
+let test_ids_partitioned () =
+  let a = K.Ids.make_partitioned ~kernel:0 ~stride:4 in
+  let b = K.Ids.make_partitioned ~kernel:1 ~stride:4 in
+  let xs = List.init 5 (fun _ -> K.Ids.next a) in
+  let ys = List.init 5 (fun _ -> K.Ids.next b) in
+  Alcotest.(check (list int)) "kernel 0 slice" [ 4; 8; 12; 16; 20 ] xs;
+  Alcotest.(check (list int)) "kernel 1 slice" [ 1; 5; 9; 13; 17 ] ys;
+  List.iter
+    (fun y -> Alcotest.(check int) "owner" 1 (K.Ids.owner_kernel ~stride:4 y))
+    ys
+
+let prop_ids_disjoint =
+  QCheck.Test.make ~name:"partitioned id spaces are disjoint" ~count:50
+    QCheck.(int_range 2 8)
+    (fun stride ->
+      let allocs =
+        List.init stride (fun k -> K.Ids.make_partitioned ~kernel:k ~stride)
+      in
+      let ids =
+        List.concat_map (fun a -> List.init 50 (fun _ -> K.Ids.next a)) allocs
+      in
+      List.length (List.sort_uniq compare ids) = List.length ids)
+
+(* --- context --- *)
+
+let test_context_digest () =
+  let rng = Prng.create ~seed:1 in
+  let c = K.Context.fresh rng ~use_fpu:false in
+  Alcotest.(check bool) "self equal" true (K.Context.equal c c);
+  Alcotest.(check int) "digest stable" (K.Context.digest c) (K.Context.digest c);
+  let c' = K.Context.step c in
+  Alcotest.(check bool) "step changes digest" false
+    (K.Context.digest c = K.Context.digest c');
+  Alcotest.(check bool) "no fpu" false (K.Context.has_fpu c);
+  let cf = K.Context.touch_fpu rng c in
+  Alcotest.(check bool) "fpu now" true (K.Context.has_fpu cf);
+  Alcotest.(check bool) "fpu grows size" true
+    (K.Context.size_bytes cf = K.Context.size_bytes c + 512)
+
+(* --- vma --- *)
+
+let mk_vmas () = K.Vma.create ()
+
+let map_ok ?fixed vmas ~len ~prot =
+  match K.Vma.map vmas ?fixed ~len ~prot ~kind:K.Vma.Anon () with
+  | Ok v -> v
+  | Error e -> Alcotest.fail e
+
+let test_vma_basic_map () =
+  let v = mk_vmas () in
+  let a = map_ok v ~len:(4 * page) ~prot:K.Vma.prot_rw in
+  let b = map_ok v ~len:(2 * page) ~prot:K.Vma.prot_r in
+  Alcotest.(check bool) "disjoint" true
+    (K.Vma.vma_end a <= b.K.Vma.start || K.Vma.vma_end b <= a.K.Vma.start);
+  Alcotest.(check int) "count" 2 (K.Vma.count v);
+  Alcotest.(check int) "mapped bytes" (6 * page) (K.Vma.mapped_bytes v);
+  (match K.Vma.find v (a.K.Vma.start + page) with
+  | Some f -> Alcotest.(check int) "find start" a.K.Vma.start f.K.Vma.start
+  | None -> Alcotest.fail "find failed");
+  Alcotest.(check bool) "miss below" true (K.Vma.find v (a.K.Vma.start - 1) <> Some a)
+
+let test_vma_fixed_overlap_rejected () =
+  let v = mk_vmas () in
+  let a = map_ok v ~fixed:0x1000_0000 ~len:(4 * page) ~prot:K.Vma.prot_rw in
+  (match
+     K.Vma.map v ~fixed:(a.K.Vma.start + page) ~len:page ~prot:K.Vma.prot_rw
+       ~kind:K.Vma.Anon ()
+   with
+  | Ok _ -> Alcotest.fail "overlap accepted"
+  | Error _ -> ());
+  (* Unaligned and empty rejected too. *)
+  (match K.Vma.map v ~fixed:123 ~len:page ~prot:K.Vma.prot_rw ~kind:K.Vma.Anon () with
+  | Ok _ -> Alcotest.fail "unaligned accepted"
+  | Error _ -> ());
+  match K.Vma.map v ~len:0 ~prot:K.Vma.prot_rw ~kind:K.Vma.Anon () with
+  | Ok _ -> Alcotest.fail "zero length accepted"
+  | Error _ -> ()
+
+let test_vma_unmap_splits () =
+  let v = mk_vmas () in
+  let a = map_ok v ~fixed:0x1000_0000 ~len:(10 * page) ~prot:K.Vma.prot_rw in
+  (* Punch a hole in the middle. *)
+  (match K.Vma.unmap v ~start:(a.K.Vma.start + (4 * page)) ~len:(2 * page) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "split into two" 2 (K.Vma.count v);
+  Alcotest.(check int) "bytes" (8 * page) (K.Vma.mapped_bytes v);
+  Alcotest.(check bool) "hole unmapped" true
+    (K.Vma.find v (a.K.Vma.start + (5 * page)) = None);
+  Alcotest.(check bool) "left present" true
+    (K.Vma.find v a.K.Vma.start <> None);
+  Alcotest.(check bool) "right present" true
+    (K.Vma.find v (a.K.Vma.start + (9 * page)) <> None)
+
+let test_vma_unmap_across_hole () =
+  let v = mk_vmas () in
+  let _ = map_ok v ~fixed:0x1000_0000 ~len:(2 * page) ~prot:K.Vma.prot_rw in
+  let _ = map_ok v ~fixed:(0x1000_0000 + (6 * page)) ~len:(2 * page) ~prot:K.Vma.prot_rw in
+  (match K.Vma.unmap v ~start:0x1000_0000 ~len:(8 * page) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "all gone" 0 (K.Vma.count v)
+
+let test_vma_protect_splits () =
+  let v = mk_vmas () in
+  let a = map_ok v ~fixed:0x1000_0000 ~len:(6 * page) ~prot:K.Vma.prot_rw in
+  (match
+     K.Vma.protect v ~start:(a.K.Vma.start + (2 * page)) ~len:(2 * page)
+       ~prot:K.Vma.prot_r
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "three pieces" 3 (K.Vma.count v);
+  (match K.Vma.find v (a.K.Vma.start + (2 * page)) with
+  | Some m -> Alcotest.(check bool) "read only" false m.K.Vma.prot.K.Vma.write
+  | None -> Alcotest.fail "middle missing");
+  (* Protect over a hole errors. *)
+  match K.Vma.protect v ~start:0x2000_0000 ~len:page ~prot:K.Vma.prot_r with
+  | Ok () -> Alcotest.fail "protect over hole"
+  | Error _ -> ()
+
+let test_vma_layout_equality () =
+  let build () =
+    let v = mk_vmas () in
+    let _ = map_ok v ~fixed:0x1000_0000 ~len:(4 * page) ~prot:K.Vma.prot_rw in
+    let _ = map_ok v ~len:(2 * page) ~prot:K.Vma.prot_r in
+    v
+  in
+  Alcotest.(check bool) "equal layouts" true
+    (K.Vma.equal_layout (build ()) (build ()));
+  let v2 = build () in
+  ignore (K.Vma.unmap v2 ~start:0x1000_0000 ~len:page);
+  Alcotest.(check bool) "diverged" false (K.Vma.equal_layout (build ()) v2)
+
+(* Property: random map/unmap keeps VMAs disjoint and byte-count correct. *)
+let prop_vma_disjoint =
+  let cmd =
+    QCheck.Gen.(
+      frequency
+        [
+          (3, map (fun n -> `Map (1 + (n mod 8))) nat);
+          (2, map2 (fun a b -> `Unmap (a mod 32, 1 + (b mod 8))) nat nat);
+        ])
+  in
+  QCheck.Test.make ~name:"vma tree stays disjoint" ~count:200
+    (QCheck.make QCheck.Gen.(list_size (int_bound 40) cmd))
+    (fun script ->
+      let v = mk_vmas () in
+      List.iter
+        (function
+          | `Map n ->
+              ignore (K.Vma.map v ~len:(n * page) ~prot:K.Vma.prot_rw ~kind:K.Vma.Anon ())
+          | `Unmap (slot, n) ->
+              let base = K.Vma.page_size * 8 * slot in
+              ignore
+                (K.Vma.unmap v
+                   ~start:(0x7F00_0000_0000 + base)
+                   ~len:(n * page)))
+        script;
+      let vmas = K.Vma.vmas v in
+      let rec disjoint = function
+        | a :: (b :: _ as rest) ->
+            K.Vma.vma_end a <= b.K.Vma.start && disjoint rest
+        | _ -> true
+      in
+      disjoint vmas
+      && K.Vma.mapped_bytes v
+         = List.fold_left (fun acc (x : K.Vma.vma) -> acc + x.K.Vma.len) 0 vmas)
+
+(* --- page table + faults --- *)
+
+let test_page_table () =
+  let pt = K.Page_table.create () in
+  K.Page_table.set pt ~vpn:10 { K.Page_table.frame = 1; writable = true };
+  K.Page_table.set pt ~vpn:11 { K.Page_table.frame = 2; writable = false };
+  Alcotest.(check int) "count" 2 (K.Page_table.count pt);
+  Alcotest.(check bool) "downgrade" true (K.Page_table.downgrade pt ~vpn:10);
+  (match K.Page_table.get pt ~vpn:10 with
+  | Some pte -> Alcotest.(check bool) "now ro" false pte.K.Page_table.writable
+  | None -> Alcotest.fail "missing");
+  let removed = K.Page_table.clear_range pt ~start:(10 * page) ~len:(2 * page) in
+  Alcotest.(check int) "cleared both" 2 (List.length removed);
+  Alcotest.(check int) "empty" 0 (K.Page_table.count pt)
+
+let test_fault_classify () =
+  let v = mk_vmas () in
+  let pt = K.Page_table.create () in
+  let a = map_ok v ~fixed:0x1000_0000 ~len:(2 * page) ~prot:K.Vma.prot_rw in
+  let ro = map_ok v ~fixed:0x2000_0000 ~len:page ~prot:K.Vma.prot_r in
+  let check name exp addr access =
+    Alcotest.(check bool)
+      name true
+      (K.Fault.classify v pt ~addr ~access = exp)
+  in
+  check "unmapped -> segv" K.Fault.Segv 0x3000_0000 K.Fault.Read;
+  check "write to ro vma -> segv" K.Fault.Segv ro.K.Vma.start K.Fault.Write;
+  check "first touch -> minor" K.Fault.Minor a.K.Vma.start K.Fault.Write;
+  K.Page_table.set pt
+    ~vpn:(K.Page_table.vpn_of_addr a.K.Vma.start)
+    { K.Page_table.frame = 7; writable = false };
+  check "read present" K.Fault.Present a.K.Vma.start K.Fault.Read;
+  check "write upgrade" K.Fault.Cow_or_upgrade a.K.Vma.start K.Fault.Write;
+  ignore (K.Page_table.downgrade pt ~vpn:999)
+
+(* --- futex --- *)
+
+let test_futex_wait_wake () =
+  let eng = Engine.create () in
+  let f = K.Futex.create eng in
+  let woken = ref [] in
+  for i = 1 to 3 do
+    Engine.spawn eng (fun () ->
+        match K.Futex.wait f ~addr:0x100 () with
+        | K.Futex.Woken -> woken := i :: !woken
+        | K.Futex.Timed_out -> ())
+  done;
+  Engine.schedule eng ~after:10 (fun () ->
+      Alcotest.(check int) "waiters" 3 (K.Futex.waiters f ~addr:0x100);
+      Alcotest.(check int) "woke 2" 2 (K.Futex.wake f ~addr:0x100 ~count:2));
+  Engine.schedule eng ~after:20 (fun () ->
+      Alcotest.(check int) "woke last" 1 (K.Futex.wake f ~addr:0x100 ~count:5));
+  Engine.run eng;
+  Alcotest.(check (list int)) "fifo wake order" [ 1; 2; 3 ] (List.rev !woken)
+
+let test_futex_timeout () =
+  let eng = Engine.create () in
+  let f = K.Futex.create eng in
+  let r = ref K.Futex.Woken in
+  Engine.spawn eng (fun () ->
+      r := K.Futex.wait f ~addr:0x200 ~timeout:(Time.us 5) ());
+  Engine.run eng;
+  Alcotest.(check bool) "timed out" true (!r = K.Futex.Timed_out);
+  (* A later wake finds nobody. *)
+  Alcotest.(check int) "no waiters" 0 (K.Futex.wake f ~addr:0x200 ~count:1)
+
+let test_futex_requeue () =
+  let eng = Engine.create () in
+  let f = K.Futex.create eng in
+  let woken = ref 0 in
+  for _ = 1 to 4 do
+    Engine.spawn eng (fun () ->
+        match K.Futex.wait f ~addr:0x300 () with
+        | K.Futex.Woken -> incr woken
+        | K.Futex.Timed_out -> ())
+  done;
+  Engine.schedule eng ~after:10 (fun () ->
+      let w, m = K.Futex.requeue f ~from_addr:0x300 ~to_addr:0x400 ~max_wake:1 ~max_move:2 in
+      Alcotest.(check (pair int int)) "wake 1 move 2" (1, 2) (w, m);
+      Alcotest.(check int) "left on 0x300" 1 (K.Futex.waiters f ~addr:0x300);
+      Alcotest.(check int) "moved to 0x400" 2 (K.Futex.waiters f ~addr:0x400);
+      ignore (K.Futex.wake f ~addr:0x300 ~count:10);
+      ignore (K.Futex.wake f ~addr:0x400 ~count:10));
+  Engine.run eng;
+  Alcotest.(check int) "all woken eventually" 4 !woken
+
+(* Property: wakes never exceed waiters and are conserved. *)
+let prop_futex_conservation =
+  QCheck.Test.make ~name:"futex wakes conserved" ~count:100
+    QCheck.(pair (int_range 0 10) (int_range 0 15))
+    (fun (waiters, wakes) ->
+      let eng = Engine.create () in
+      let f = K.Futex.create eng in
+      let woken = ref 0 in
+      for _ = 1 to waiters do
+        Engine.spawn eng (fun () ->
+            match K.Futex.wait f ~addr:0x42 () with
+            | K.Futex.Woken -> incr woken
+            | K.Futex.Timed_out -> ())
+      done;
+      let reported = ref 0 in
+      Engine.schedule eng ~after:10 (fun () ->
+          reported := K.Futex.wake f ~addr:0x42 ~count:wakes);
+      Engine.run eng;
+      !reported = min waiters wakes && !woken = !reported)
+
+(* Property: protect never changes the mapped byte count. *)
+let prop_protect_preserves_bytes =
+  QCheck.Test.make ~name:"mprotect preserves mapped bytes" ~count:200
+    QCheck.(triple (int_range 1 16) (int_range 0 15) (int_range 1 8))
+    (fun (len, off, plen) ->
+      let v = mk_vmas () in
+      let a = map_ok v ~fixed:0x1000_0000 ~len:(len * page) ~prot:K.Vma.prot_rw in
+      let before = K.Vma.mapped_bytes v in
+      let start = a.K.Vma.start + (min off (len - 1) * page) in
+      let plen = min plen (len - min off (len - 1)) * page in
+      (match K.Vma.protect v ~start ~len:plen ~prot:K.Vma.prot_r with
+      | Ok () -> ()
+      | Error e -> QCheck.Test.fail_report e);
+      K.Vma.mapped_bytes v = before)
+
+(* --- cpu / sched --- *)
+
+let test_cpu_timeshares () =
+  let eng = Engine.create () in
+  let cpu = K.Cpu.create eng Hw.Params.default ~core:0 ~quantum:(Time.us 10) in
+  let done_at = Array.make 2 0 in
+  for i = 0 to 1 do
+    Engine.spawn eng (fun () ->
+        K.Cpu.compute cpu (Time.us 50);
+        done_at.(i) <- Engine.now eng)
+  done;
+  Engine.run eng;
+  (* Both ran 50us on one core: total elapsed >= 100us and both finish near
+     the end (interleaved), not one at 50us. *)
+  Alcotest.(check bool) "elapsed >= serial" true (Engine.now eng >= Time.us 100);
+  Alcotest.(check bool) "interleaved" true (done_at.(0) > Time.us 80);
+  Alcotest.(check bool) "busy time accounted" true
+    (K.Cpu.busy_time cpu = Time.us 100)
+
+let test_sched_placement () =
+  let eng = Engine.create () in
+  let s = K.Sched.create eng Hw.Params.default ~cores:[ 0; 1; 2; 3 ] () in
+  let picks =
+    List.init 4 (fun _ ->
+        let c = K.Sched.pick_core s in
+        K.Sched.assign s c;
+        c)
+  in
+  Alcotest.(check (list int)) "spread" [ 0; 1; 2; 3 ] picks;
+  K.Sched.unassign s 1;
+  Alcotest.(check int) "reuse freed" 1 (K.Sched.pick_core s)
+
+let () =
+  Alcotest.run "kernelmodel"
+    [
+      ( "ids",
+        [ Alcotest.test_case "partitioned" `Quick test_ids_partitioned ] );
+      ("context", [ Alcotest.test_case "digest/fpu" `Quick test_context_digest ]);
+      ( "vma",
+        [
+          Alcotest.test_case "map basics" `Quick test_vma_basic_map;
+          Alcotest.test_case "fixed overlap rejected" `Quick
+            test_vma_fixed_overlap_rejected;
+          Alcotest.test_case "unmap splits" `Quick test_vma_unmap_splits;
+          Alcotest.test_case "unmap across hole" `Quick
+            test_vma_unmap_across_hole;
+          Alcotest.test_case "protect splits" `Quick test_vma_protect_splits;
+          Alcotest.test_case "layout equality" `Quick test_vma_layout_equality;
+        ] );
+      ( "pt+fault",
+        [
+          Alcotest.test_case "page table" `Quick test_page_table;
+          Alcotest.test_case "classification" `Quick test_fault_classify;
+        ] );
+      ( "futex",
+        [
+          Alcotest.test_case "wait/wake fifo" `Quick test_futex_wait_wake;
+          Alcotest.test_case "timeout" `Quick test_futex_timeout;
+          Alcotest.test_case "requeue" `Quick test_futex_requeue;
+        ] );
+      ( "sched",
+        [
+          Alcotest.test_case "cpu timeshares" `Quick test_cpu_timeshares;
+          Alcotest.test_case "placement" `Quick test_sched_placement;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_ids_disjoint;
+            prop_vma_disjoint;
+            prop_futex_conservation;
+            prop_protect_preserves_bytes;
+          ] );
+    ]

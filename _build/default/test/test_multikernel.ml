@@ -1,0 +1,142 @@
+(* Tests for the Barrelfish-style multikernel baseline. *)
+
+open Sim
+module Mk = Multikernel
+module K = Kernelmodel
+
+let page = 4096
+
+let mk () =
+  let m = Hw.Machine.create ~sockets:2 ~cores_per_socket:4 () in
+  (m, Mk.boot m)
+
+let test_domain_spans_cores () =
+  let machine, sys = mk () in
+  let cores_seen = ref [] in
+  Engine.spawn machine.Hw.Machine.eng (fun () ->
+      let dom =
+        Mk.start_domain sys ~core:0 (fun d0 ->
+            cores_seen := d0.Mk.core :: !cores_seen;
+            let done_ = ref 0 in
+            for c = 1 to 3 do
+              Mk.spawn_dispatcher d0 ~core:c (fun d ->
+                  cores_seen := d.Mk.core :: !cores_seen;
+                  Mk.compute d (Time.us 5);
+                  incr done_)
+            done;
+            while !done_ < 3 do
+              Mk.compute d0 (Time.us 20)
+            done)
+      in
+      Mk.wait_domain dom);
+  Engine.run machine.Hw.Machine.eng;
+  Alcotest.(check (list int)) "dispatchers on requested cores" [ 0; 1; 2; 3 ]
+    (List.sort compare !cores_seen)
+
+let test_spawn_has_messaging_cost () =
+  let machine, sys = mk () in
+  let spawn_cost = ref 0 in
+  Engine.spawn machine.Hw.Machine.eng (fun () ->
+      let dom =
+        Mk.start_domain sys ~core:0 (fun d0 ->
+            let t0 = Engine.now machine.Hw.Machine.eng in
+            Mk.spawn_dispatcher d0 ~core:5 (fun d -> Mk.compute d (Time.us 1));
+            spawn_cost := Engine.now machine.Hw.Machine.eng - t0)
+      in
+      Mk.wait_domain dom);
+  Engine.run machine.Hw.Machine.eng;
+  (* Remote spawn: request message + 20us construction + ack. *)
+  Alcotest.(check bool) "substantial" true (!spawn_cost > Time.us 20)
+
+let test_private_memory () =
+  let machine, sys = mk () in
+  Engine.spawn machine.Hw.Machine.eng (fun () ->
+      let dom =
+        Mk.start_domain sys ~core:0 (fun d0 ->
+            let vma =
+              match Mk.mmap d0 ~len:(2 * page) ~prot:K.Vma.prot_rw with
+              | Ok v -> v
+              | Error e -> Alcotest.fail e
+            in
+            let addr = vma.K.Vma.start in
+            (match Mk.touch d0 ~addr ~access:K.Fault.Write with
+            | Ok _ -> ()
+            | Error e -> Alcotest.fail e);
+            let sibling_sees = ref None in
+            let done_ = ref false in
+            Mk.spawn_dispatcher d0 ~core:1 (fun d1 ->
+                (* The sibling has its own address space: this address is
+                   not necessarily mapped there. *)
+                sibling_sees :=
+                  Some (K.Vma.find d1.Mk.vmas addr <> None);
+                done_ := true);
+            while not !done_ do
+              Mk.compute d0 (Time.us 20)
+            done;
+            Alcotest.(check (option bool)) "no shared mapping" (Some false)
+              !sibling_sees;
+            match Mk.munmap d0 ~start:addr ~len:(2 * page) with
+            | Ok () -> ()
+            | Error e -> Alcotest.fail e)
+      in
+      Mk.wait_domain dom);
+  Engine.run machine.Hw.Machine.eng
+
+let test_channels_roundtrip () =
+  let machine, sys = mk () in
+  let transcript = ref [] in
+  Engine.spawn machine.Hw.Machine.eng (fun () ->
+      let dom =
+        Mk.start_domain sys ~core:0 (fun d0 ->
+            let to_b = Mk.make_chan sys and to_a = Mk.make_chan sys in
+            let finished = ref false in
+            Mk.spawn_dispatcher d0 ~core:4 (fun d1 ->
+                for _ = 1 to 3 do
+                  let v, _ = Mk.chan_recv d1 to_b in
+                  transcript := `B v :: !transcript;
+                  Mk.chan_send d1 to_a ~dst_core:0 ~data:(v * 10) ~bytes:64
+                done;
+                finished := true);
+            for i = 1 to 3 do
+              Mk.chan_send d0 to_b ~dst_core:4 ~data:i ~bytes:64;
+              let v, _ = Mk.chan_recv d0 to_a in
+              transcript := `A v :: !transcript
+            done;
+            while not !finished do
+              Mk.compute d0 (Time.us 10)
+            done)
+      in
+      Mk.wait_domain dom);
+  Engine.run machine.Hw.Machine.eng;
+  Alcotest.(check int) "six exchanges" 6 (List.length !transcript);
+  Alcotest.(check bool) "replies transformed" true
+    (List.mem (`A 30) !transcript && List.mem (`B 3) !transcript)
+
+let test_wait_domain () =
+  let machine, sys = mk () in
+  let finished = ref false in
+  Engine.spawn machine.Hw.Machine.eng (fun () ->
+      let dom =
+        Mk.start_domain sys ~core:2 (fun d ->
+            Mk.compute d (Time.ms 2))
+      in
+      Mk.wait_domain dom;
+      finished := true);
+  Engine.run machine.Hw.Machine.eng;
+  Alcotest.(check bool) "domain joined" true !finished
+
+let () =
+  Alcotest.run "multikernel"
+    [
+      ( "domains",
+        [
+          Alcotest.test_case "spans cores" `Quick test_domain_spans_cores;
+          Alcotest.test_case "spawn messaging cost" `Quick
+            test_spawn_has_messaging_cost;
+          Alcotest.test_case "wait" `Quick test_wait_domain;
+        ] );
+      ( "memory",
+        [ Alcotest.test_case "private address spaces" `Quick test_private_memory ] );
+      ( "channels",
+        [ Alcotest.test_case "roundtrip" `Quick test_channels_roundtrip ] );
+    ]

@@ -1,0 +1,412 @@
+(* Unit and property tests for the simulation engine. *)
+
+open Sim
+
+let test_time_pp () =
+  Alcotest.(check string) "ns" "500ns" (Time.to_string (Time.ns 500));
+  Alcotest.(check string) "us" "2.50us" (Time.to_string (Time.ns 2500));
+  Alcotest.(check string) "ms" "1.500ms" (Time.to_string (Time.us 1500));
+  Alcotest.(check string) "s" "2.000s" (Time.to_string (Time.s 2))
+
+let test_engine_ordering () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  Engine.schedule eng ~after:30 (fun () -> log := 3 :: !log);
+  Engine.schedule eng ~after:10 (fun () -> log := 1 :: !log);
+  Engine.schedule eng ~after:20 (fun () -> log := 2 :: !log);
+  Engine.run eng;
+  Alcotest.(check (list int)) "time order" [ 1; 2; 3 ] (List.rev !log)
+
+let test_engine_fifo_same_instant () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 10 do
+    Engine.schedule eng ~after:5 (fun () -> log := i :: !log)
+  done;
+  Engine.run eng;
+  Alcotest.(check (list int))
+    "fifo at same instant"
+    [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+    (List.rev !log)
+
+let test_sleep_advances_clock () =
+  let eng = Engine.create () in
+  let seen = ref (-1) in
+  Engine.spawn eng (fun () ->
+      Engine.sleep eng (Time.us 5);
+      Engine.sleep eng (Time.us 7);
+      seen := Engine.now eng);
+  Engine.run eng;
+  Alcotest.(check int) "now" (Time.us 12) !seen
+
+let test_run_until () =
+  let eng = Engine.create () in
+  let fired = ref 0 in
+  Engine.schedule eng ~after:100 (fun () -> incr fired);
+  Engine.schedule eng ~after:200 (fun () -> incr fired);
+  Engine.run ~until:150 eng;
+  Alcotest.(check int) "only first" 1 !fired;
+  Alcotest.(check int) "clock clamped" 150 (Engine.now eng);
+  Engine.run eng;
+  Alcotest.(check int) "rest runs" 2 !fired
+
+let test_suspend_resume () =
+  let eng = Engine.create () in
+  let resume_cell = ref None in
+  let got = ref 0 in
+  Engine.spawn eng (fun () ->
+      let v = Engine.suspend eng (fun r -> resume_cell := Some r) in
+      got := v);
+  Engine.schedule eng ~after:50 (fun () ->
+      match !resume_cell with Some r -> r 42 | None -> ());
+  Engine.run eng;
+  Alcotest.(check int) "value" 42 !got
+
+let test_suspend_idempotent_resume () =
+  let eng = Engine.create () in
+  let resume_cell = ref None in
+  let count = ref 0 in
+  Engine.spawn eng (fun () ->
+      let _ = Engine.suspend eng (fun r -> resume_cell := Some r) in
+      incr count);
+  Engine.schedule eng ~after:10 (fun () ->
+      match !resume_cell with
+      | Some r ->
+          r 1;
+          r 2;
+          r 3
+      | None -> ());
+  Engine.run eng;
+  Alcotest.(check int) "resumed once" 1 !count
+
+let test_fiber_failure_propagates () =
+  let eng = Engine.create () in
+  Engine.spawn eng ~name:"boom" (fun () -> failwith "bang");
+  Alcotest.check_raises "fiber failure"
+    (Engine.Fiber_failure ("boom", Failure "bang"))
+    (fun () -> Engine.run eng)
+
+let test_determinism () =
+  let run_once () =
+    let eng = Engine.create ~seed:7 () in
+    let trace = Buffer.create 64 in
+    for i = 1 to 5 do
+      Engine.spawn eng (fun () ->
+          Engine.sleep eng (Prng.int (Engine.rng eng) 100);
+          Buffer.add_string trace (string_of_int i))
+    done;
+    Engine.run eng;
+    Buffer.contents trace
+  in
+  Alcotest.(check string) "identical runs" (run_once ()) (run_once ())
+
+let test_mutex_exclusion () =
+  let eng = Engine.create () in
+  let m = Mutex.create eng in
+  let inside = ref 0 and max_inside = ref 0 and done_count = ref 0 in
+  for _ = 1 to 8 do
+    Engine.spawn eng (fun () ->
+        Mutex.lock m;
+        incr inside;
+        max_inside := max !max_inside !inside;
+        Engine.sleep eng (Time.us 10);
+        decr inside;
+        Mutex.unlock m;
+        incr done_count)
+  done;
+  Engine.run eng;
+  Alcotest.(check int) "mutual exclusion" 1 !max_inside;
+  Alcotest.(check int) "all finished" 8 !done_count
+
+let test_mutex_fifo () =
+  let eng = Engine.create () in
+  let m = Mutex.create eng in
+  let order = ref [] in
+  Engine.spawn eng (fun () ->
+      Mutex.lock m;
+      Engine.sleep eng (Time.us 50);
+      Mutex.unlock m);
+  for i = 1 to 5 do
+    Engine.schedule eng ~after:i (fun () ->
+        Mutex.lock m;
+        order := i :: !order;
+        Mutex.unlock m)
+  done;
+  Engine.run eng;
+  Alcotest.(check (list int)) "fifo handoff" [ 1; 2; 3; 4; 5 ] (List.rev !order)
+
+let test_cond_signal_broadcast () =
+  let eng = Engine.create () in
+  let m = Mutex.create eng in
+  let c = Cond.create eng in
+  let woken = ref 0 in
+  for _ = 1 to 4 do
+    Engine.spawn eng (fun () ->
+        Mutex.lock m;
+        Cond.wait c m;
+        incr woken;
+        Mutex.unlock m)
+  done;
+  Engine.schedule eng ~after:10 (fun () -> Cond.signal c);
+  Engine.schedule eng ~after:20 (fun () -> ignore (Cond.broadcast c));
+  Engine.run eng;
+  Alcotest.(check int) "all woken" 4 !woken
+
+let test_cond_wait_timeout () =
+  let eng = Engine.create () in
+  let m = Mutex.create eng in
+  let c = Cond.create eng in
+  let result = ref `Signalled in
+  Engine.spawn eng (fun () ->
+      Mutex.lock m;
+      result := Cond.wait_timeout c m ~timeout:(Time.us 10);
+      Mutex.unlock m);
+  Engine.run eng;
+  Alcotest.(check bool) "timed out" true (!result = `Timed_out)
+
+let test_semaphore () =
+  let eng = Engine.create () in
+  let s = Semaphore.create eng 2 in
+  let inside = ref 0 and max_inside = ref 0 in
+  for _ = 1 to 6 do
+    Engine.spawn eng (fun () ->
+        Semaphore.acquire s;
+        incr inside;
+        max_inside := max !max_inside !inside;
+        Engine.sleep eng (Time.us 5);
+        decr inside;
+        Semaphore.release s)
+  done;
+  Engine.run eng;
+  Alcotest.(check int) "at most 2" 2 !max_inside
+
+let test_channel_fifo () =
+  let eng = Engine.create () in
+  let ch = Channel.create eng ~capacity:4 in
+  let received = ref [] in
+  Engine.spawn eng (fun () ->
+      for i = 1 to 10 do
+        Channel.send ch i
+      done);
+  Engine.spawn eng (fun () ->
+      for _ = 1 to 10 do
+        let v = Channel.recv ch in
+        received := v :: !received;
+        Engine.sleep eng (Time.us 1)
+      done);
+  Engine.run eng;
+  Alcotest.(check (list int))
+    "in order"
+    [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+    (List.rev !received)
+
+let test_channel_backpressure () =
+  let eng = Engine.create () in
+  let ch = Channel.create eng ~capacity:2 in
+  let sent = ref 0 in
+  Engine.spawn eng (fun () ->
+      for _ = 1 to 5 do
+        Channel.send ch ();
+        incr sent
+      done);
+  (* Before any recv, only [capacity] sends complete. *)
+  Engine.run ~until:(Time.us 1) eng;
+  Alcotest.(check int) "blocked at capacity" 2 !sent;
+  Engine.spawn eng (fun () ->
+      for _ = 1 to 5 do
+        ignore (Channel.recv ch)
+      done);
+  Engine.run eng;
+  Alcotest.(check int) "all sent" 5 !sent
+
+let test_channel_recv_timeout () =
+  let eng = Engine.create () in
+  let ch : int Channel.t = Channel.create eng ~capacity:1 in
+  let got = ref (Some 0) in
+  Engine.spawn eng (fun () -> got := Channel.recv_timeout ch ~timeout:(Time.us 3));
+  Engine.run eng;
+  Alcotest.(check bool) "timeout" true (!got = None)
+
+let test_waitq_cancel () =
+  let eng = Engine.create () in
+  let q : unit Waitq.t = Waitq.create () in
+  let woken = ref [] in
+  let entries = ref [] in
+  Engine.spawn eng (fun () ->
+      ignore q;
+      ());
+  for i = 1 to 3 do
+    Engine.spawn eng (fun () ->
+        Engine.suspend eng (fun resume ->
+            entries := (i, Waitq.push q (fun () -> resume ())) :: !entries);
+        woken := i :: !woken)
+  done;
+  Engine.schedule eng ~after:10 (fun () ->
+      (* Cancel waiter 2, wake one: waiter 1 gets it; wake again: 3. *)
+      (match List.assoc_opt 2 !entries with
+      | Some e -> Waitq.cancel e
+      | None -> ());
+      ignore (Waitq.wake_one q ());
+      ignore (Waitq.wake_one q ()));
+  Engine.run eng;
+  Alcotest.(check (list int)) "cancelled skipped" [ 1; 3 ] (List.rev !woken)
+
+let test_barrier_rounds () =
+  let eng = Engine.create () in
+  let b = Barrier.create eng ~parties:4 in
+  let leaders = ref 0 and released = ref 0 in
+  for i = 1 to 8 do
+    Engine.schedule eng ~after:(i * 10) (fun () ->
+        (match Barrier.wait b with
+        | `Leader -> incr leaders
+        | `Follower -> ());
+        incr released)
+  done;
+  Engine.run eng;
+  Alcotest.(check int) "two rounds" 2 (Barrier.rounds b);
+  Alcotest.(check int) "one leader per round" 2 !leaders;
+  Alcotest.(check int) "all released" 8 !released
+
+let test_barrier_blocks_until_full () =
+  let eng = Engine.create () in
+  let b = Barrier.create eng ~parties:3 in
+  let through = ref 0 in
+  for _ = 1 to 2 do
+    Engine.spawn eng (fun () ->
+        ignore (Barrier.wait b);
+        incr through)
+  done;
+  Engine.run eng;
+  Alcotest.(check int) "held at 2/3" 0 !through;
+  Engine.spawn eng (fun () -> ignore (Barrier.wait b));
+  Engine.run eng;
+  Alcotest.(check int) "released" 2 !through
+
+let test_trace_ring () =
+  let tr = Trace.create ~capacity:4 () in
+  for i = 1 to 6 do
+    Trace.emit tr ~at:(i * 10) ~cat:(if i mod 2 = 0 then "even" else "odd")
+      (string_of_int i)
+  done;
+  Alcotest.(check int) "retained" 4 (Trace.count tr);
+  Alcotest.(check int) "total" 6 (Trace.total tr);
+  let msgs = List.map (fun e -> e.Trace.msg) (Trace.events tr) in
+  Alcotest.(check (list string)) "oldest dropped" [ "3"; "4"; "5"; "6" ] msgs;
+  let evens = Trace.events ~cat:"even" tr in
+  Alcotest.(check (list string)) "filter" [ "4"; "6" ]
+    (List.map (fun e -> e.Trace.msg) evens);
+  Trace.clear tr;
+  Alcotest.(check int) "cleared" 0 (Trace.count tr)
+
+let test_trace_chronological () =
+  let tr = Trace.create () in
+  Trace.emit tr ~at:30 ~cat:"c" "late";
+  Trace.emit tr ~at:10 ~cat:"c" "early";
+  (* Insertion order is preserved (the engine only moves forward, so
+     insertion order is time order in practice). *)
+  Alcotest.(check (list string)) "insertion order" [ "late"; "early" ]
+    (List.map (fun e -> e.Trace.msg) (Trace.events tr))
+
+(* Property tests *)
+
+let prop_heap_ordering =
+  QCheck.Test.make ~name:"eheap pops in (time, seq) order" ~count:200
+    QCheck.(list (int_bound 1000))
+    (fun times ->
+      let h = Eheap.create () in
+      List.iteri (fun i at -> Eheap.push h ~at ~seq:i i) times;
+      let rec drain prev acc =
+        match Eheap.pop h with
+        | None -> List.rev acc
+        | Some (at, seq, _) ->
+            (match prev with
+            | Some (pat, pseq) ->
+                if at < pat || (at = pat && seq < pseq) then
+                  QCheck.Test.fail_report "heap order violated"
+            | None -> ());
+            drain (Some (at, seq)) ((at, seq) :: acc)
+      in
+      let order = drain None [] in
+      List.length order = List.length times)
+
+let prop_prng_deterministic =
+  QCheck.Test.make ~name:"prng deterministic from seed" ~count:100
+    QCheck.int (fun seed ->
+      let a = Prng.create ~seed and b = Prng.create ~seed in
+      List.init 20 (fun _ -> Prng.bits64 a)
+      = List.init 20 (fun _ -> Prng.bits64 b))
+
+let prop_prng_bounds =
+  QCheck.Test.make ~name:"prng int_in bounds" ~count:500
+    QCheck.(pair small_int small_int)
+    (fun (a, b) ->
+      let lo = min a b and hi = max a b in
+      let rng = Prng.create ~seed:(a + b) in
+      let v = Prng.int_in rng lo hi in
+      lo <= v && v <= hi)
+
+let prop_shuffle_permutes =
+  QCheck.Test.make ~name:"shuffle is a permutation" ~count:200
+    QCheck.(list int)
+    (fun l ->
+      let rng = Prng.create ~seed:17 in
+      let a = Array.of_list l in
+      Prng.shuffle rng a;
+      List.sort compare (Array.to_list a) = List.sort compare l)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "time",
+        [ Alcotest.test_case "pretty printing" `Quick test_time_pp ] );
+      ( "engine",
+        [
+          Alcotest.test_case "event ordering" `Quick test_engine_ordering;
+          Alcotest.test_case "same-instant fifo" `Quick
+            test_engine_fifo_same_instant;
+          Alcotest.test_case "sleep advances clock" `Quick
+            test_sleep_advances_clock;
+          Alcotest.test_case "run until" `Quick test_run_until;
+          Alcotest.test_case "suspend/resume" `Quick test_suspend_resume;
+          Alcotest.test_case "resume idempotent" `Quick
+            test_suspend_idempotent_resume;
+          Alcotest.test_case "fiber failure propagates" `Quick
+            test_fiber_failure_propagates;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+        ] );
+      ( "sync",
+        [
+          Alcotest.test_case "mutex exclusion" `Quick test_mutex_exclusion;
+          Alcotest.test_case "mutex fifo" `Quick test_mutex_fifo;
+          Alcotest.test_case "cond signal/broadcast" `Quick
+            test_cond_signal_broadcast;
+          Alcotest.test_case "cond timeout" `Quick test_cond_wait_timeout;
+          Alcotest.test_case "semaphore" `Quick test_semaphore;
+          Alcotest.test_case "waitq cancel" `Quick test_waitq_cancel;
+        ] );
+      ( "barrier",
+        [
+          Alcotest.test_case "rounds + leader" `Quick test_barrier_rounds;
+          Alcotest.test_case "blocks until full" `Quick
+            test_barrier_blocks_until_full;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "ring + filter" `Quick test_trace_ring;
+          Alcotest.test_case "order" `Quick test_trace_chronological;
+        ] );
+      ( "channel",
+        [
+          Alcotest.test_case "fifo" `Quick test_channel_fifo;
+          Alcotest.test_case "backpressure" `Quick test_channel_backpressure;
+          Alcotest.test_case "recv timeout" `Quick test_channel_recv_timeout;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_heap_ordering;
+            prop_prng_deterministic;
+            prop_prng_bounds;
+            prop_shuffle_permutes;
+          ] );
+    ]

@@ -1,0 +1,167 @@
+(* Tests for the measurement library. *)
+
+let test_summary () =
+  let s = Stats.Summary.create () in
+  List.iter (Stats.Summary.add s) [ 1.; 2.; 3.; 4.; 5. ];
+  Alcotest.(check int) "count" 5 (Stats.Summary.count s);
+  Alcotest.(check (float 1e-9)) "mean" 3. (Stats.Summary.mean s);
+  Alcotest.(check (float 1e-9)) "min" 1. (Stats.Summary.min s);
+  Alcotest.(check (float 1e-9)) "max" 5. (Stats.Summary.max s);
+  Alcotest.(check (float 1e-9)) "total" 15. (Stats.Summary.total s);
+  Alcotest.(check (float 1e-6)) "stddev" (sqrt 2.5) (Stats.Summary.stddev s)
+
+let test_summary_merge () =
+  let a = Stats.Summary.create () and b = Stats.Summary.create () in
+  List.iter (Stats.Summary.add a) [ 1.; 2.; 3. ];
+  List.iter (Stats.Summary.add b) [ 4.; 5. ];
+  let m = Stats.Summary.merge a b in
+  let whole = Stats.Summary.create () in
+  List.iter (Stats.Summary.add whole) [ 1.; 2.; 3.; 4.; 5. ];
+  Alcotest.(check int) "count" 5 (Stats.Summary.count m);
+  Alcotest.(check (float 1e-9)) "mean" (Stats.Summary.mean whole)
+    (Stats.Summary.mean m);
+  Alcotest.(check (float 1e-6)) "variance" (Stats.Summary.variance whole)
+    (Stats.Summary.variance m)
+
+let test_histogram_percentiles () =
+  let h = Stats.Histogram.create () in
+  for i = 1 to 1000 do
+    Stats.Histogram.add h (float_of_int i)
+  done;
+  let p50 = Stats.Histogram.median h in
+  let p99 = Stats.Histogram.p99 h in
+  (* Log-bucketed: ±10% relative accuracy is the contract. *)
+  Alcotest.(check bool) "p50 near 500" true (p50 > 400. && p50 < 600.);
+  Alcotest.(check bool) "p99 near 990" true (p99 > 850. && p99 < 1100.);
+  Alcotest.(check bool) "ordered" true (p50 <= p99);
+  Alcotest.(check (float 1.)) "mean" 500.5 (Stats.Histogram.mean h)
+
+let test_histogram_empty () =
+  let h = Stats.Histogram.create () in
+  Alcotest.(check (float 0.)) "empty p99" 0. (Stats.Histogram.p99 h)
+
+let test_breakdown () =
+  let b = Stats.Breakdown.create () in
+  Stats.Breakdown.add b "save" 10.;
+  Stats.Breakdown.add b "send" 30.;
+  Stats.Breakdown.add b "save" 5.;
+  Alcotest.(check (float 1e-9)) "accumulates" 15. (Stats.Breakdown.get b "save");
+  Alcotest.(check (float 1e-9)) "total" 45. (Stats.Breakdown.total b);
+  Alcotest.(check (list string)) "insertion order" [ "save"; "send" ]
+    (List.map fst (Stats.Breakdown.components b))
+
+let test_table_render () =
+  let t = Stats.Table.create ~title:"demo" ~columns:[ "a"; "bb" ] in
+  Stats.Table.add_row t [ "x"; "1" ];
+  Stats.Table.add_row t [ "yy"; "22" ];
+  let s = Stats.Table.render t in
+  Alcotest.(check bool) "has title" true
+    (String.length s > 0 && String.sub s 0 7 = "== demo");
+  Alcotest.(check bool) "aligned" true
+    (String.split_on_char '\n' s
+    |> List.filter (fun l -> String.length l > 0 && l.[0] = '|')
+    |> fun rows ->
+    List.length (List.sort_uniq compare (List.map String.length rows)) = 1);
+  Alcotest.check_raises "column mismatch"
+    (Invalid_argument "Table.add_row: column count mismatch") (fun () ->
+      Stats.Table.add_row t [ "only-one" ])
+
+let test_formatting () =
+  Alcotest.(check string) "ns" "750ns" (Stats.Table.fmt_ns 750.);
+  Alcotest.(check string) "us" "1.50us" (Stats.Table.fmt_ns 1500.);
+  Alcotest.(check string) "ms" "2.000ms" (Stats.Table.fmt_ns 2e6);
+  Alcotest.(check string) "rate K" "1.5K/s" (Stats.Table.fmt_rate 1500.);
+  Alcotest.(check string) "rate M" "2.50M/s" (Stats.Table.fmt_rate 2.5e6)
+
+let test_series () =
+  let t =
+    Stats.Table.series ~title:"curves" ~x_label:"n"
+      [ ("a", [ (1., 10.); (2., 20.) ]); ("b", [ (2., 5.) ]) ]
+  in
+  let s = Stats.Table.render t in
+  Alcotest.(check bool) "missing as dash" true
+    (String.length s > 0
+    && String.split_on_char '\n' s |> List.exists (fun l ->
+           String.length l > 0 && l.[0] = '|'
+           && String.index_opt l '-' <> None))
+
+let test_timeseries () =
+  let ts = Stats.Timeseries.create ~bucket_ns:100 in
+  Stats.Timeseries.add ts ~at:10 1.;
+  Stats.Timeseries.add ts ~at:90 2.;
+  Stats.Timeseries.add ts ~at:150 5.;
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "bucketed"
+    [ (0, 3.); (100, 5.) ]
+    (Stats.Timeseries.buckets ts);
+  Alcotest.(check (float 1e-9)) "total" 8. (Stats.Timeseries.total ts)
+
+let test_timeseries_span () =
+  let ts = Stats.Timeseries.create ~bucket_ns:100 in
+  (* 50..250 covers half of bucket 0, all of bucket 1, half of bucket 2. *)
+  Stats.Timeseries.add_span ts ~from_ns:50 ~until_ns:250;
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "split exactly"
+    [ (0, 50.); (100, 100.); (200, 50.) ]
+    (Stats.Timeseries.buckets ts);
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "normalised utilisation"
+    [ (0, 0.5); (100, 1.0); (200, 0.5) ]
+    (Stats.Timeseries.normalised ts);
+  (* Degenerate span is a no-op. *)
+  Stats.Timeseries.add_span ts ~from_ns:300 ~until_ns:300;
+  Alcotest.(check (float 1e-9)) "unchanged" 200. (Stats.Timeseries.total ts)
+
+let prop_summary_mean_in_range =
+  QCheck.Test.make ~name:"summary mean within min/max" ~count:300
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 50) (float_bound_exclusive 1000.))
+    (fun xs ->
+      let s = Stats.Summary.create () in
+      List.iter (Stats.Summary.add s) xs;
+      Stats.Summary.mean s >= Stats.Summary.min s -. 1e-9
+      && Stats.Summary.mean s <= Stats.Summary.max s +. 1e-9)
+
+let prop_histogram_percentile_monotone =
+  QCheck.Test.make ~name:"histogram percentiles monotone" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 100) (float_bound_exclusive 1e6))
+    (fun xs ->
+      let h = Stats.Histogram.create () in
+      List.iter (fun x -> Stats.Histogram.add h (Float.abs x)) xs;
+      let ps = [ 10.; 25.; 50.; 75.; 90.; 99.; 100. ] in
+      let vals = List.map (Stats.Histogram.percentile h) ps in
+      let rec mono = function
+        | a :: (b :: _ as rest) -> a <= b +. 1e-9 && mono rest
+        | _ -> true
+      in
+      mono vals)
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "summary",
+        [
+          Alcotest.test_case "basics" `Quick test_summary;
+          Alcotest.test_case "merge" `Quick test_summary_merge;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "percentiles" `Quick test_histogram_percentiles;
+          Alcotest.test_case "empty" `Quick test_histogram_empty;
+        ] );
+      ( "breakdown",
+        [ Alcotest.test_case "accumulate + order" `Quick test_breakdown ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "formatting" `Quick test_formatting;
+          Alcotest.test_case "series" `Quick test_series;
+        ] );
+      ( "timeseries",
+        [
+          Alcotest.test_case "bucketing" `Quick test_timeseries;
+          Alcotest.test_case "span splitting" `Quick test_timeseries_span;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_summary_mean_in_range; prop_histogram_percentile_monotone ] );
+    ]
