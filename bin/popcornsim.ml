@@ -2,11 +2,18 @@
 
    Subcommands:
      list               show the reproduction experiments
-     run <id> [--quick] run one experiment (T1, T2, F1..F6)
+     run <id> [--quick] run one experiment (ids from `popcornsim list`)
      all [--quick]      run every experiment
      demo [...]         boot a cluster and run a demonstration workload *)
 
 open Cmdliner
+
+(* Derived from the registry so the docs can never go stale. *)
+let experiment_ids =
+  String.concat ", "
+    (List.map
+       (fun (e : Experiments.Registry.t) -> e.Experiments.Registry.id)
+       Experiments.Registry.all)
 
 let quick =
   let doc = "Shrink parameter sweeps for a fast run." in
@@ -29,7 +36,7 @@ let list_cmd =
 
 let run_cmd =
   let id =
-    let doc = "Experiment id (T1, T2, F1..F6)." in
+    let doc = Printf.sprintf "Experiment id (%s)." experiment_ids in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
   in
   let run id quick =

@@ -16,6 +16,8 @@ let dispatch cluster ~dst ~src payload =
         ~new_tid ~vma_proto
   | Migrate_req { ticket; pid; task } ->
       Migration.handle_migrate_req cluster kernel ~src ~ticket ~pid ~task
+  | Migrate_cancel { pid; tid } ->
+      Migration.handle_migrate_cancel cluster kernel ~pid ~tid
   | Group_exit_notify { pid; _ } ->
       Process_model.handle_group_exit_notify cluster kernel ~pid
   | Thread_exit_notify { pid } ->

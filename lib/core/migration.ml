@@ -22,6 +22,9 @@ type breakdown = {
       (** working-set prefetch at the destination (0 unless the
           [migration_prefetch] option is on). *)
   total_ns : int;
+  migrated : bool;
+      (** false when retries were exhausted and the thread fell back to
+          running on the origin kernel (requires [migration_retry]). *)
 }
 
 let save_ctx_cost (ctx : K.Context.t) =
@@ -42,22 +45,46 @@ let mm_attach_cost = Sim.Time.ns 500
    follow-on work (tens of microseconds for the state transformation). *)
 let isa_transform_cost = Sim.Time.us 25
 
-(** Destination-side import handler. *)
+(** Destination-side import handler. Idempotent: a retransmitted request
+    whose original was imported but whose ack was lost must not adopt the
+    task a second time — it just re-acks. *)
 let handle_migrate_req cluster (kernel : kernel) ~src ~ticket ~pid
     ~(task : K.Task.t) =
-  let eng = eng cluster in
-  let t0 = Sim.Engine.now eng in
-  let proc = proc_exn cluster pid in
-  let r = Thread_group.ensure_replica cluster kernel proc in
-  Process_model.adopt_task cluster kernel r task;
-  task.K.Task.migrations <- task.K.Task.migrations + 1;
-  Proto_util.kernel_work cluster (restore_ctx_cost task.K.Task.ctx);
-  Proto_util.kernel_work cluster mm_attach_cost;
-  K.Task.set_state task K.Task.Ready;
-  let import_ns = Sim.Time.sub (Sim.Engine.now eng) t0 in
-  trace cluster ~cat:"migrate" "k%d imported tid %d of pid %d (%dns)"
-    kernel.kid task.K.Task.tid pid import_ns;
-  send cluster ~src:kernel.kid ~dst:src (Migrate_ack { ticket; import_ns })
+  if Hashtbl.mem kernel.tasks task.K.Task.tid then begin
+    trace cluster ~cat:"migrate" "k%d: duplicate import of tid %d, re-ack"
+      kernel.kid task.K.Task.tid;
+    send cluster ~src:kernel.kid ~dst:src
+      (Migrate_ack { ticket; import_ns = 0 })
+  end
+  else begin
+    let eng = eng cluster in
+    let t0 = Sim.Engine.now eng in
+    let proc = proc_exn cluster pid in
+    let r = Thread_group.ensure_replica cluster kernel proc in
+    Process_model.adopt_task cluster kernel r task;
+    task.K.Task.migrations <- task.K.Task.migrations + 1;
+    Proto_util.kernel_work cluster (restore_ctx_cost task.K.Task.ctx);
+    Proto_util.kernel_work cluster mm_attach_cost;
+    K.Task.set_state task K.Task.Ready;
+    let import_ns = Sim.Time.sub (Sim.Engine.now eng) t0 in
+    trace cluster ~cat:"migrate" "k%d imported tid %d of pid %d (%dns)"
+      kernel.kid task.K.Task.tid pid import_ns;
+    send cluster ~src:kernel.kid ~dst:src (Migrate_ack { ticket; import_ns })
+  end
+
+(** Destination-side revocation: the origin exhausted its retries and kept
+    the thread, but our import may have happened (only its ack was lost) —
+    undo it. Guarded so a stale cancel can never evict a thread that
+    legitimately lives here ([task.kernel] is only set to this kernel by a
+    migration the origin saw complete). *)
+let handle_migrate_cancel cluster (kernel : kernel) ~pid ~tid =
+  match Hashtbl.find_opt kernel.tasks tid with
+  | Some task when task.K.Task.kernel <> kernel.kid ->
+      Proto_util.kernel_work cluster (Sim.Time.ns 500);
+      Process_model.remove_member_local kernel task;
+      trace cluster ~cat:"migrate" "k%d revoked orphan import of tid %d"
+        kernel.kid tid
+  | Some _ | None -> ignore pid
 
 (* Pull the migrated thread's recent working set to the destination, as
    read replicas, before it resumes. Trades migration latency for fewer
@@ -97,6 +124,7 @@ let migrate cluster (kernel : kernel) ~core (task : K.Task.t) ~dst :
       schedule_in_ns = 0;
       prefetch_ns = 0;
       total_ns = 0;
+      migrated = true;
     }
   else begin
     let eng = eng cluster in
@@ -113,45 +141,77 @@ let migrate cluster (kernel : kernel) ~core (task : K.Task.t) ~dst :
     if kernel.arch <> (kernel_of cluster dst).arch then
       Proto_util.kernel_work cluster isa_transform_cost;
     let t_saved = Sim.Engine.now eng in
-    (* Ship it and wait for the destination to adopt. *)
-    let import_ns =
-      match
-        Proto_util.call_from cluster ~src:kernel ~src_core:core ~dst
-          (fun ~ticket ->
-            Migrate_req { ticket; pid = task.K.Task.tgid; task })
-      with
-      | Migrate_ack { import_ns; _ } -> import_ns
-      | _ -> assert false
+    (* Ship it and wait for the destination to adopt. Without a retry
+       policy this parks until the ack arrives (fault-free fabric); with
+       one, the request is retransmitted and may ultimately fail. *)
+    let make ~ticket = Migrate_req { ticket; pid = task.K.Task.tgid; task } in
+    let response =
+      match cluster.opts.migration_retry with
+      | None ->
+          Some (Proto_util.call_from cluster ~src:kernel ~src_core:core ~dst make)
+      | Some policy ->
+          Proto_util.call_retry_from cluster ~src:kernel ~src_core:core ~dst
+            ~policy make
     in
-    let t_acked = Sim.Engine.now eng in
-    (* Source-side teardown: the task no longer runs here. *)
-    let r = replica_exn kernel task.K.Task.tgid in
-    r.members <- List.filter (fun t -> t != task) r.members;
-    Hashtbl.remove kernel.tasks task.K.Task.tid;
-    (match task.K.Task.core with
-    | Some c when K.Sched.owns kernel.sched c -> K.Sched.unassign kernel.sched c
-    | Some _ | None -> ());
-    (* Destination-side schedule-in, charged to the thread itself. *)
-    let dst_kernel = kernel_of cluster dst in
-    let new_core = K.Sched.pick_core dst_kernel.sched in
-    K.Sched.assign dst_kernel.sched new_core;
-    task.K.Task.kernel <- dst;
-    task.K.Task.core <- Some new_core;
-    K.Task.set_state task K.Task.Running;
-    Proto_util.kernel_work cluster p.Hw.Params.context_switch;
-    let t_sched = Sim.Engine.now eng in
-    let arch_name a = Format.asprintf "%a" pp_arch a in
-    trace cluster ~cat:"migrate" "tid %d: k%d(%s) -> k%d(%s)"
-      task.K.Task.tid kernel.kid (arch_name kernel.arch) dst
-      (arch_name dst_kernel.arch);
-    prefetch_working_set cluster dst_kernel task ~core:new_core;
-    let t_end = Sim.Engine.now eng in
-    {
-      save_ctx_ns = Sim.Time.sub t_saved t0;
-      messaging_ns = Sim.Time.sub t_acked t_saved - import_ns;
-      import_ns;
-      schedule_in_ns = Sim.Time.sub t_sched t_acked;
-      prefetch_ns = Sim.Time.sub t_end t_sched;
-      total_ns = Sim.Time.sub t_end t0;
-    }
+    match response with
+    | Some (Migrate_ack { import_ns; _ }) ->
+        let t_acked = Sim.Engine.now eng in
+        (* Source-side teardown: the task no longer runs here. *)
+        let r = replica_exn kernel task.K.Task.tgid in
+        r.members <- List.filter (fun t -> t != task) r.members;
+        Hashtbl.remove kernel.tasks task.K.Task.tid;
+        (match task.K.Task.core with
+        | Some c when K.Sched.owns kernel.sched c ->
+            K.Sched.unassign kernel.sched c
+        | Some _ | None -> ());
+        (* Destination-side schedule-in, charged to the thread itself. *)
+        let dst_kernel = kernel_of cluster dst in
+        let new_core = K.Sched.pick_core dst_kernel.sched in
+        K.Sched.assign dst_kernel.sched new_core;
+        task.K.Task.kernel <- dst;
+        task.K.Task.core <- Some new_core;
+        K.Task.set_state task K.Task.Running;
+        Proto_util.kernel_work cluster p.Hw.Params.context_switch;
+        let t_sched = Sim.Engine.now eng in
+        let arch_name a = Format.asprintf "%a" pp_arch a in
+        trace cluster ~cat:"migrate" "tid %d: k%d(%s) -> k%d(%s)"
+          task.K.Task.tid kernel.kid (arch_name kernel.arch) dst
+          (arch_name dst_kernel.arch);
+        prefetch_working_set cluster dst_kernel task ~core:new_core;
+        let t_end = Sim.Engine.now eng in
+        {
+          save_ctx_ns = Sim.Time.sub t_saved t0;
+          messaging_ns = Sim.Time.sub t_acked t_saved - import_ns;
+          import_ns;
+          schedule_in_ns = Sim.Time.sub t_sched t_acked;
+          prefetch_ns = Sim.Time.sub t_end t_sched;
+          total_ns = Sim.Time.sub t_end t0;
+          migrated = true;
+        }
+    | Some _ -> assert false
+    | None ->
+        (* Graceful degradation: every attempt timed out. Tell the
+           destination to revoke any orphan import (best effort — the
+           cancel rides the same lossy fabric), then re-animate the thread
+           right here instead of wedging the group. The thread keeps its
+           core: it was never unassigned. *)
+        let t_gave_up = Sim.Engine.now eng in
+        send_from cluster ~src:kernel.kid ~src_core:core ~dst
+          (Migrate_cancel { pid = task.K.Task.tgid; tid = task.K.Task.tid });
+        Proto_util.kernel_work cluster (restore_ctx_cost task.K.Task.ctx);
+        K.Task.set_state task K.Task.Running;
+        Proto_util.kernel_work cluster p.Hw.Params.context_switch;
+        let t_end = Sim.Engine.now eng in
+        trace cluster ~cat:"migrate"
+          "tid %d: k%d -> k%d gave up after retries; falling back to origin"
+          task.K.Task.tid kernel.kid dst;
+        {
+          save_ctx_ns = Sim.Time.sub t_saved t0;
+          messaging_ns = Sim.Time.sub t_gave_up t_saved;
+          import_ns = 0;
+          schedule_in_ns = Sim.Time.sub t_end t_gave_up;
+          prefetch_ns = 0;
+          total_ns = Sim.Time.sub t_end t0;
+          migrated = false;
+        }
   end

@@ -18,6 +18,10 @@ type breakdown = {
       (** working-set prefetch at the destination (0 unless the
           [migration_prefetch] option is on). *)
   total_ns : int;
+  migrated : bool;
+      (** false when the migration exhausted its retries (under the
+          [migration_retry] option) and the thread fell back to running on
+          the origin kernel instead. *)
 }
 (** Per-phase cost decomposition of one migration (experiment T1). *)
 
@@ -29,7 +33,14 @@ val handle_migrate_req :
   pid:pid ->
   task:Kernelmodel.Task.t ->
   unit
-(** Destination-side import handler (wired by [Cluster.dispatch]). *)
+(** Destination-side import handler (wired by [Cluster.dispatch]).
+    Idempotent: a retransmitted request whose original was imported (only
+    the ack was lost) re-acks without adopting the task again. *)
+
+val handle_migrate_cancel : cluster -> kernel -> pid:pid -> tid:tid -> unit
+(** Destination-side revocation of an orphan import, sent (best effort) by
+    an origin that exhausted its retries and kept the thread. A no-op when
+    no import happened, or when the thread legitimately lives here. *)
 
 val migrate :
   cluster ->
@@ -40,4 +51,6 @@ val migrate :
   breakdown
 (** Migrate [task] (running on [kernel]/[core], in the calling fiber) to
     [dst]. On return the task lives on [dst]; migrating to the current
-    kernel is a free no-op. *)
+    kernel is a free no-op. With the [migration_retry] option set, a
+    migration whose retries are exhausted returns with [migrated = false]
+    and the task still running on the origin kernel. *)

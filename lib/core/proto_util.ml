@@ -32,3 +32,11 @@ let call cluster ~(src : kernel) ~dst make =
 let call_from cluster ~(src : kernel) ~src_core ~dst make =
   Msg.Rpc.call src.rpc (fun ticket ->
       send_from cluster ~src:src.kid ~src_core ~dst (make ~ticket))
+
+(** Like {!call_from} but retransmitting under [policy] instead of parking
+    forever; [None] when every attempt timed out. Handlers of retried
+    requests must be idempotent: an earlier attempt may have been executed
+    with only its response lost. *)
+let call_retry_from cluster ~(src : kernel) ~src_core ~dst ~policy make =
+  Msg.Rpc.call_retry src.rpc ~policy (fun ~attempt:_ ticket ->
+      send_from cluster ~src:src.kid ~src_core ~dst (make ~ticket))

@@ -25,3 +25,14 @@ val call_from :
   (ticket:int -> payload) ->
   payload
 (** Like {!call} but sent from an explicit core of the source kernel. *)
+
+val call_retry_from :
+  cluster ->
+  src:kernel ->
+  src_core:Hw.Topology.core ->
+  dst:int ->
+  policy:Msg.Rpc.retry_policy ->
+  (ticket:int -> payload) ->
+  payload option
+(** Like {!call_from} but retransmitting under [policy]; [None] when every
+    attempt timed out. Handlers of retried requests must be idempotent. *)

@@ -87,6 +87,10 @@ type payload =
   | Migrate_ack of { ticket : int; import_ns : int }
       (** [import_ns]: destination-side import time, reported back for the
           migration cost breakdown. *)
+  | Migrate_cancel of { pid : pid; tid : tid }
+      (** origin -> destination, best-effort: the origin gave up on a
+          migration (retries exhausted) and is re-animating the thread
+          locally; revoke the import if one happened (its ack was lost). *)
   | Group_exit_notify of { pid : pid; from_kernel : int }
   | Thread_exit_notify of { pid : pid }
       (** any kernel -> origin: one of my local members of [pid] exited;
@@ -255,6 +259,12 @@ and options = {
   read_replication : bool;
       (** allow read-only page replicas; when false every remote fault
           migrates the page exclusively (ablation). *)
+  migration_retry : Msg.Rpc.retry_policy option;
+      (** when set, migration requests are retransmitted under this policy
+          instead of waiting forever, and a migration that exhausts its
+          retries falls back to re-animating the thread on the origin
+          kernel (graceful degradation under an unreliable fabric). [None]
+          (the default) preserves the fault-free blocking behaviour. *)
 }
 
 let default_options =
@@ -265,6 +275,7 @@ let default_options =
     use_dummy_pool = true;
     dummy_pool_size = 8;
     read_replication = true;
+    migration_retry = None;
   }
 
 let eng cluster = cluster.machine.Hw.Machine.eng
@@ -303,6 +314,7 @@ module Wire = struct
     | Migrate_req { task; _ } ->
         header + Kernelmodel.Context.size_bytes task.Kernelmodel.Task.ctx
     | Migrate_ack _ -> header + 8
+    | Migrate_cancel _ -> header + 16
     | Group_exit_notify _ -> header
     | Thread_exit_notify _ -> header
     | Exit_group_req _ | Exit_group_resp _ | Exit_group_cmd _ -> header + 8

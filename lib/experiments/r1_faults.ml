@@ -1,0 +1,176 @@
+(** R1 — thread migration under injected messaging faults.
+
+    Not a paper figure: a robustness experiment over the reproduction.
+    A deterministic fault plan ([Inject.Plan]) drops / delays / duplicates
+    inter-kernel messages, loses doorbell IPIs and stalls a kernel's
+    receive ring, while worker threads ping-pong between kernels. The
+    resilient messaging stack (sequence-number duplicate suppression +
+    [Rpc.call_retry] retransmission) masks most faults; migrations that
+    exhaust their retries degrade gracefully by falling back to the origin
+    kernel. We sweep fault rate x retry policy and report migration
+    success rate, p50/p99 latency of successful migrations, and the retry
+    machinery's counters. *)
+
+open Sim
+module P = Popcorn.Types
+
+type cell = {
+  attempts : int;
+  ok : int;
+  fallbacks : int;
+  p50_ns : float;
+  p99_ns : float;
+  retried : int;
+  gave_up : int;
+  injected : int;  (** faults the plan injected (all kinds). *)
+}
+
+(* One sweep cell: [workers] threads each attempt [migrations] ping-pong
+   migrations between kernel 0 and a per-worker partner kernel, under a
+   fault plan seeded with [plan_seed]. The fault window opens only after
+   every worker exists (spawn is not retry-protected) and closes before
+   group teardown. Deterministic: same (plan_seed, rate, policy) gives the
+   identical schedule and the identical cell. *)
+let run_cell ?(kernels = 4) ~workers ~migrations ~rate ~policy ~plan_seed () :
+    cell =
+  let attempts = ref 0 and ok = ref 0 and fallbacks = ref 0 in
+  let lat = Stats.Histogram.create () in
+  let retried = ref 0 and gave_up = ref 0 and injected = ref 0 in
+  let opts = { P.default_options with P.migration_retry = Some policy } in
+  ignore
+    (Common.run_popcorn ~opts ~kernels (fun cluster th ->
+         let eng = P.eng cluster in
+         let plan = Inject.Plan.create ~seed:plan_seed eng in
+         Inject.Plan.attach plan cluster.P.fabric;
+         let faulty =
+           {
+             Inject.Plan.drop = rate;
+             duplicate = rate /. 2.;
+             delay = rate;
+             delay_max = Time.us 20;
+             doorbell_loss = rate;
+             doorbell_recovery = Time.us 30;
+           }
+         in
+         (* A kernel-stall window early in the fault phase: partner kernel
+            1 stops draining its ring for 150us. *)
+         if rate > 0. then
+           Inject.Plan.add_stall plan ~node:1
+             ~from_:(Time.add (Engine.now eng) (Time.us 100))
+             ~until_:(Time.add (Engine.now eng) (Time.us 250));
+         let start = Barrier.create eng ~parties:(workers + 1) in
+         let latch = Workloads.Latch.create eng workers in
+         for w = 0 to workers - 1 do
+           ignore
+             (Popcorn.Api.spawn th ~target:0 (fun worker ->
+                  ignore (Barrier.wait start);
+                  let partner = 1 + (w mod (kernels - 1)) in
+                  for _ = 1 to migrations do
+                    Popcorn.Api.compute worker (Time.us 2);
+                    let here = (Popcorn.Api.current_kernel worker).P.kid in
+                    let dst = if here = 0 then partner else 0 in
+                    let b = Popcorn.Api.migrate worker ~dst in
+                    incr attempts;
+                    if b.Popcorn.Migration.migrated then begin
+                      incr ok;
+                      Stats.Histogram.add lat
+                        (float_of_int b.Popcorn.Migration.total_ns)
+                    end
+                    else incr fallbacks
+                  done;
+                  Workloads.Latch.arrive latch))
+         done;
+         (* All workers exist: open the fault window and let them run. *)
+         Inject.Plan.set_default_rates plan faulty;
+         ignore (Barrier.wait start);
+         Workloads.Latch.wait latch;
+         (* Close the window so group teardown is not disrupted. *)
+         Inject.Plan.set_default_rates plan Inject.Plan.zero;
+         injected := Inject.Plan.injected plan;
+         Array.iter
+           (fun (k : P.kernel) ->
+             let s = Msg.Rpc.retry_stats k.P.rpc in
+             retried := !retried + s.Msg.Rpc.retried;
+             gave_up := !gave_up + s.Msg.Rpc.gave_up)
+           cluster.P.kernels));
+  {
+    attempts = !attempts;
+    ok = !ok;
+    fallbacks = !fallbacks;
+    p50_ns = Stats.Histogram.median lat;
+    p99_ns = Stats.Histogram.p99 lat;
+    retried = !retried;
+    gave_up = !gave_up;
+    injected = !injected;
+  }
+
+let policies =
+  [
+    ( "2x50us",
+      {
+        Msg.Rpc.max_tries = 2;
+        base_timeout = Time.us 50;
+        backoff_factor = 2;
+        max_timeout = Time.ms 1;
+      } );
+    ( "6x50us",
+      {
+        Msg.Rpc.max_tries = 6;
+        base_timeout = Time.us 50;
+        backoff_factor = 2;
+        max_timeout = Time.ms 1;
+      } );
+  ]
+
+let run ?(quick = false) () =
+  let rates = if quick then [ 0.0; 0.1 ] else [ 0.0; 0.02; 0.05; 0.1; 0.2 ] in
+  let workers = if quick then 8 else 16 in
+  let migrations = if quick then 10 else 25 in
+  let t =
+    Stats.Table.create
+      ~title:
+        (Printf.sprintf
+           "R1: migration under faults (4 kernels, %d workers x %d \
+            migrations; drop=dup/2=delay=doorbell-loss=rate)"
+           workers migrations)
+      ~columns:
+        [
+          "fault rate";
+          "retry policy";
+          "attempts";
+          "ok";
+          "fallback";
+          "success";
+          "p50";
+          "p99";
+          "retried";
+          "gave up";
+          "injected";
+        ]
+  in
+  List.iter
+    (fun rate ->
+      List.iter
+        (fun (pname, policy) ->
+          let c =
+            run_cell ~workers ~migrations ~rate ~policy ~plan_seed:1337 ()
+          in
+          Stats.Table.add_row t
+            [
+              Printf.sprintf "%.2f" rate;
+              pname;
+              string_of_int c.attempts;
+              string_of_int c.ok;
+              string_of_int c.fallbacks;
+              Printf.sprintf "%.1f%%"
+                (100. *. float_of_int c.ok
+                /. float_of_int (max 1 c.attempts));
+              Stats.Table.fmt_ns c.p50_ns;
+              Stats.Table.fmt_ns c.p99_ns;
+              string_of_int c.retried;
+              string_of_int c.gave_up;
+              string_of_int c.injected;
+            ])
+        policies)
+    rates;
+  [ t ]

@@ -60,6 +60,11 @@ let all : t list =
       title = "Kernel granularity sweep (partitioning trade-off)";
       run = A2_granularity.run;
     };
+    {
+      id = "R1";
+      title = "Migration under injected messaging faults (robustness)";
+      run = R1_faults.run;
+    };
   ]
 
 let find id =

@@ -1,13 +1,19 @@
 open Sim
 
+type fault = Ipi_deliver | Ipi_drop | Ipi_delay of Time.t
+
 type t = {
   eng : Engine.t;
   params : Params.t;
   topo : Topology.t;
   mutable sent : int;
+  mutable dropped : int;
+  mutable fault_hook :
+    (src:Topology.core -> dst:Topology.core -> fault) option;
 }
 
-let create eng params topo = { eng; params; topo; sent = 0 }
+let create eng params topo =
+  { eng; params; topo; sent = 0; dropped = 0; fault_hook = None }
 
 let delivery_latency t ~src ~dst =
   let base = Time.add t.params.Params.ipi_latency t.params.Params.irq_entry in
@@ -17,6 +23,20 @@ let delivery_latency t ~src ~dst =
 
 let send t ~src ~dst handler =
   t.sent <- t.sent + 1;
-  Engine.schedule t.eng ~after:(delivery_latency t ~src ~dst) handler
+  let fault =
+    match t.fault_hook with
+    | None -> Ipi_deliver
+    | Some hook -> hook ~src ~dst
+  in
+  match fault with
+  | Ipi_drop -> t.dropped <- t.dropped + 1
+  | Ipi_deliver ->
+      Engine.schedule t.eng ~after:(delivery_latency t ~src ~dst) handler
+  | Ipi_delay extra ->
+      Engine.schedule t.eng
+        ~after:(Time.add (delivery_latency t ~src ~dst) extra)
+        handler
 
+let set_fault_hook t hook = t.fault_hook <- hook
 let sent t = t.sent
+let dropped t = t.dropped

@@ -8,15 +8,28 @@ open Sim
 
 type t
 
+type fault = Ipi_deliver | Ipi_drop | Ipi_delay of Time.t
+(** Fault-injection verdict for one IPI: delivered normally, silently lost,
+    or delivered with extra latency. *)
+
 val create : Engine.t -> Params.t -> Topology.t -> t
 
 val send :
   t -> src:Topology.core -> dst:Topology.core -> (unit -> unit) -> unit
 (** Deliver: after the modelled latency, run the handler (a fresh fiber, as
-    if in interrupt context on [dst]). *)
+    if in interrupt context on [dst]). When a fault hook is installed it is
+    consulted first; a dropped IPI never runs the handler. *)
+
+val set_fault_hook :
+  t -> (src:Topology.core -> dst:Topology.core -> fault) option -> unit
+(** Install (or remove) a fault-injection hook ([Inject.Plan] is the
+    standard provider). No hook means every IPI is delivered. *)
 
 val delivery_latency : t -> src:Topology.core -> dst:Topology.core -> Time.t
 (** The latency [send] will charge, exposed for cost breakdowns. *)
 
 val sent : t -> int
 (** Total IPIs sent (a contention/overhead metric reported by benches). *)
+
+val dropped : t -> int
+(** IPIs lost to fault injection. *)

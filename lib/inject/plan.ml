@@ -1,0 +1,158 @@
+open Sim
+
+type rates = {
+  drop : float;
+  duplicate : float;
+  delay : float;
+  delay_max : Time.t;
+  doorbell_loss : float;
+  doorbell_recovery : Time.t;
+}
+
+let zero =
+  {
+    drop = 0.;
+    duplicate = 0.;
+    delay = 0.;
+    delay_max = Time.zero;
+    doorbell_loss = 0.;
+    doorbell_recovery = Time.zero;
+  }
+
+type stall = { node : int; from_ : Time.t; until_ : Time.t }
+
+type t = {
+  rng : Prng.t;
+  mutable default_rates : rates;
+  links : (int * int, rates) Hashtbl.t;
+  mutable stalls : stall list;
+  mutable st_drops : int;
+  mutable st_duplicates : int;
+  mutable st_delays : int;
+  mutable st_doorbells_lost : int;
+  mutable st_stalls_applied : int;
+  mutable st_ipi_drops : int;
+}
+
+(* The plan's stream is keyed off the engine's seed (salted so it differs
+   from the engine's own stream) — one simulation seed reproduces the whole
+   fault schedule — but it is a separate generator: drawing fault decisions
+   never advances the engine's PRNG, so attaching a plan cannot perturb
+   what the simulation itself draws. *)
+let create ?seed ?(default_rates = zero) eng =
+  let seed =
+    match seed with
+    | Some s -> s
+    | None -> Engine.seed eng lxor 0x494e4a45 (* "INJE" *)
+  in
+  {
+    rng = Prng.create ~seed;
+    default_rates;
+    links = Hashtbl.create 16;
+    stalls = [];
+    st_drops = 0;
+    st_duplicates = 0;
+    st_delays = 0;
+    st_doorbells_lost = 0;
+    st_stalls_applied = 0;
+    st_ipi_drops = 0;
+  }
+
+let set_default_rates t r = t.default_rates <- r
+let set_link t ~src ~dst r = Hashtbl.replace t.links (src, dst) r
+
+let add_stall t ~node ~from_ ~until_ =
+  if until_ < from_ then invalid_arg "Plan.add_stall: until_ < from_";
+  t.stalls <- { node; from_; until_ } :: t.stalls
+
+let link_rates t ~src ~dst =
+  match Hashtbl.find_opt t.links (src, dst) with
+  | Some r -> r
+  | None -> t.default_rates
+
+(* Rate-0 decisions must not touch the stream: a zero-rate plan then draws
+   nothing at all, so its presence is undetectable (bit-identical runs) and
+   a non-zero plan's schedule does not depend on how many zero-rate links
+   exist. *)
+let hit t rate = rate > 0. && Prng.float t.rng 1.0 < rate
+
+let on_send t ~src ~dst ~now:_ : Msg.Transport.fault_action =
+  let r = link_rates t ~src ~dst in
+  if hit t r.drop then begin
+    t.st_drops <- t.st_drops + 1;
+    Msg.Transport.Drop
+  end
+  else if hit t r.duplicate then begin
+    t.st_duplicates <- t.st_duplicates + 1;
+    Msg.Transport.Duplicate
+  end
+  else if hit t r.delay && r.delay_max > 0 then begin
+    t.st_delays <- t.st_delays + 1;
+    Msg.Transport.Delay (1 + Prng.int t.rng r.delay_max)
+  end
+  else Msg.Transport.Pass
+
+let on_doorbell t ~src ~dst ~now:_ =
+  let r = link_rates t ~src ~dst in
+  if hit t r.doorbell_loss then begin
+    t.st_doorbells_lost <- t.st_doorbells_lost + 1;
+    Some (Time.max r.doorbell_recovery (Time.ns 1))
+  end
+  else None
+
+let on_deliver t ~node ~now =
+  let extra =
+    List.fold_left
+      (fun acc s ->
+        if s.node = node && now >= s.from_ && now < s.until_ then
+          Time.max acc (Time.sub s.until_ now)
+        else acc)
+      Time.zero t.stalls
+  in
+  if extra > 0 then t.st_stalls_applied <- t.st_stalls_applied + 1;
+  extra
+
+let attach t transport =
+  Msg.Transport.set_hooks transport
+    (Some
+       {
+         Msg.Transport.on_send =
+           (fun ~src ~dst ~now -> on_send t ~src ~dst ~now);
+         on_doorbell = (fun ~src ~dst ~now -> on_doorbell t ~src ~dst ~now);
+         on_deliver = (fun ~node ~now -> on_deliver t ~node ~now);
+       })
+
+let detach transport = Msg.Transport.set_hooks transport None
+
+let attach_ipi t ipi =
+  Hw.Ipi.set_fault_hook ipi
+    (Some
+       (fun ~src:_ ~dst:_ ->
+         if hit t t.default_rates.doorbell_loss then begin
+           t.st_ipi_drops <- t.st_ipi_drops + 1;
+           Hw.Ipi.Ipi_drop
+         end
+         else Hw.Ipi.Ipi_deliver))
+
+type stats = {
+  drops : int;
+  duplicates : int;
+  delays : int;
+  doorbells_lost : int;
+  stalls_applied : int;
+  ipi_drops : int;
+}
+
+let stats t =
+  {
+    drops = t.st_drops;
+    duplicates = t.st_duplicates;
+    delays = t.st_delays;
+    doorbells_lost = t.st_doorbells_lost;
+    stalls_applied = t.st_stalls_applied;
+    ipi_drops = t.st_ipi_drops;
+  }
+
+let injected t =
+  t.st_drops + t.st_duplicates + t.st_delays + t.st_doorbells_lost
+  + t.st_stalls_applied + t.st_ipi_drops

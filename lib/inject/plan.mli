@@ -1,0 +1,99 @@
+(** Deterministic fault-injection plans for the inter-kernel fabric.
+
+    A plan is a seeded, reproducible fault schedule: every fault decision is
+    drawn from the plan's own {!Sim.Prng} stream (keyed off the engine's
+    seed, but independent of the engine's main stream — attaching a plan
+    never perturbs the simulation's other random draws). Given the same
+    (seed, rates) a plan makes the identical drop/delay/duplicate decisions
+    in the identical order, so faulty runs are as reproducible as fault-free
+    ones — the property the R1 experiment and the regression tests rely on.
+
+    A plan expresses, per link (src kernel -> dst kernel) or as a default
+    for all links:
+    - message {b drop}, {b duplicate} and {b delay} rates (with a delay
+      bound),
+    - {b doorbell loss}: the ring write lands but the IPI is lost, so an
+      idle receive worker only notices the message at its next recovery
+      poll,
+    plus timed {b kernel stall windows}: a kernel stops draining its
+    receive ring for [\[from_, until_\]].
+
+    Attach a plan to a {!Msg.Transport.t} with {!attach} (and, for OS
+    models that use raw IPIs, to {!Hw.Ipi.t} with {!attach_ipi}); faults
+    then apply uniformly to whatever runs over that fabric — Popcorn, the
+    multikernel baseline, or any future OS model. A plan with all-zero
+    rates and no stalls draws nothing and perturbs nothing: results are
+    bit-identical to runs with no plan attached. *)
+
+type rates = {
+  drop : float;  (** probability a message is lost in the ring. *)
+  duplicate : float;  (** probability a message is enqueued twice. *)
+  delay : float;  (** probability a message is delayed. *)
+  delay_max : Sim.Time.t;
+      (** delayed messages get uniform extra latency in (0, delay_max]. *)
+  doorbell_loss : float;  (** probability a needed doorbell IPI is lost. *)
+  doorbell_recovery : Sim.Time.t;
+      (** how long a lost doorbell leaves the message unnoticed (the
+          receive path's poll interval). *)
+}
+
+val zero : rates
+(** All rates 0 — a plan built from this injects nothing. *)
+
+type t
+
+val create : ?seed:int -> ?default_rates:rates -> Sim.Engine.t -> t
+(** A plan whose fault stream is seeded from [seed] (default: derived from
+    the engine's seed, so one simulation seed reproduces everything) and
+    whose per-link default is [default_rates] (default {!zero}). *)
+
+val set_default_rates : t -> rates -> unit
+(** Replace the default rates (links without an explicit override). Useful
+    to open a fault window mid-run: start at {!zero}, raise, lower again. *)
+
+val set_link : t -> src:int -> dst:int -> rates -> unit
+(** Override the rates of one directed link. *)
+
+val add_stall : t -> node:int -> from_:Sim.Time.t -> until_:Sim.Time.t -> unit
+(** Schedule a stall window: [node]'s receive worker processes nothing in
+    [\[from_, until_\]] (messages arriving during the window are delivered
+    when it ends). *)
+
+type stats = {
+  drops : int;
+  duplicates : int;
+  delays : int;
+  doorbells_lost : int;
+  stalls_applied : int;  (** deliveries delayed by a stall window. *)
+  ipi_drops : int;  (** raw IPIs dropped via {!attach_ipi}. *)
+}
+
+val stats : t -> stats
+
+val injected : t -> int
+(** Total faults injected so far (sum of every {!stats} counter). *)
+
+val attach : t -> 'a Msg.Transport.t -> unit
+(** Install this plan as the transport's fault hooks (replacing any
+    previous hooks). *)
+
+val detach : 'a Msg.Transport.t -> unit
+(** Remove whatever hooks are installed on the transport. *)
+
+val attach_ipi : t -> Hw.Ipi.t -> unit
+(** Subject raw IPIs to the plan's {e default} doorbell-loss rate (lost
+    IPIs simply never fire — callers must tolerate that). For OS models
+    that signal cores directly rather than through {!Msg.Transport}. *)
+
+(** {1 Decision procedures}
+
+    Exposed for tests and for wiring custom transports; each consults the
+    plan's seeded stream and bumps the matching counter. *)
+
+val on_send :
+  t -> src:int -> dst:int -> now:Sim.Time.t -> Msg.Transport.fault_action
+
+val on_doorbell :
+  t -> src:int -> dst:int -> now:Sim.Time.t -> Sim.Time.t option
+
+val on_deliver : t -> node:int -> now:Sim.Time.t -> Sim.Time.t

@@ -5,13 +5,48 @@ open Sim
    until the caller parks. *)
 type 'r cell = Unresolved | Waiting of ('r -> unit) | Done of 'r
 
+type retry_policy = {
+  max_tries : int;
+  base_timeout : Time.t;
+  backoff_factor : int;
+  max_timeout : Time.t;
+}
+
+let default_retry =
+  {
+    max_tries = 4;
+    base_timeout = Time.us 50;
+    backoff_factor = 2;
+    max_timeout = Time.ms 1;
+  }
+
+type retry_stats = {
+  calls : int;
+  retried : int;  (** retransmissions (attempts beyond the first). *)
+  recovered : int;  (** calls that succeeded after at least one retry. *)
+  gave_up : int;  (** calls that exhausted every attempt. *)
+}
+
 type 'r t = {
   eng : Engine.t;
   mutable next_ticket : int;
   waiting : (int, 'r -> unit) Hashtbl.t;
+  mutable rt_calls : int;
+  mutable rt_retried : int;
+  mutable rt_recovered : int;
+  mutable rt_gave_up : int;
 }
 
-let create eng = { eng; next_ticket = 1; waiting = Hashtbl.create 64 }
+let create eng =
+  {
+    eng;
+    next_ticket = 1;
+    waiting = Hashtbl.create 64;
+    rt_calls = 0;
+    rt_retried = 0;
+    rt_recovered = 0;
+    rt_gave_up = 0;
+  }
 
 let fresh t =
   let ticket = t.next_ticket in
@@ -64,6 +99,41 @@ let call_timeout t ~timeout send =
           match !result with
           | Some out -> resume out
           | None -> waiter := Some resume)
+
+(* Retransmit until a response lands or the policy is exhausted. Each
+   attempt uses a fresh ticket, so a response to a timed-out attempt is
+   dropped as stale rather than completing a later attempt; the per-attempt
+   timeout grows geometrically (capped), which doubles as the backoff —
+   the caller is parked for the whole window before retransmitting. *)
+let call_retry t ?(policy = default_retry) send =
+  assert (policy.max_tries >= 1);
+  assert (policy.base_timeout > 0);
+  t.rt_calls <- t.rt_calls + 1;
+  let rec attempt i ~timeout =
+    match call_timeout t ~timeout (fun ticket -> send ~attempt:i ticket) with
+    | Some r ->
+        if i > 1 then t.rt_recovered <- t.rt_recovered + 1;
+        Some r
+    | None when i >= policy.max_tries ->
+        t.rt_gave_up <- t.rt_gave_up + 1;
+        None
+    | None ->
+        t.rt_retried <- t.rt_retried + 1;
+        attempt (i + 1)
+          ~timeout:
+            (Time.min
+               (Time.scale policy.backoff_factor timeout)
+               policy.max_timeout)
+  in
+  attempt 1 ~timeout:(Time.min policy.base_timeout policy.max_timeout)
+
+let retry_stats t =
+  {
+    calls = t.rt_calls;
+    retried = t.rt_retried;
+    recovered = t.rt_recovered;
+    gave_up = t.rt_gave_up;
+  }
 
 let complete t ~ticket r =
   match Hashtbl.find_opt t.waiting ticket with

@@ -35,6 +35,42 @@ val call_timeout : 'r t -> timeout:Time.t -> (int -> unit) -> 'r option
 (** Like {!call}; [None] if no response arrives in time (the ticket is then
     forgotten and a late response is dropped). *)
 
+(** {1 Retry}
+
+    Resilience against a lossy transport (fault injection): retransmit a
+    request until a response lands or the policy is exhausted. *)
+
+type retry_policy = {
+  max_tries : int;  (** total attempts, including the first (>= 1). *)
+  base_timeout : Time.t;  (** per-attempt timeout of the first attempt. *)
+  backoff_factor : int;
+      (** the timeout is multiplied by this after each failed attempt —
+          capped exponential backoff (the caller stays parked for the whole
+          window, so the growing timeout is the backoff). *)
+  max_timeout : Time.t;  (** cap on the per-attempt timeout. *)
+}
+
+val default_retry : retry_policy
+(** 4 tries, 50us base, doubling, capped at 1ms. *)
+
+type retry_stats = {
+  calls : int;  (** {!call_retry} invocations. *)
+  retried : int;  (** retransmissions (attempts beyond a call's first). *)
+  recovered : int;  (** calls that succeeded after at least one retry. *)
+  gave_up : int;  (** calls that exhausted every attempt. *)
+}
+
+val call_retry :
+  'r t -> ?policy:retry_policy -> (attempt:int -> int -> unit) -> 'r option
+(** [call_retry t send] runs [send ~attempt ticket] (attempts number from
+    1) with a fresh ticket per attempt, parking until a response or the
+    attempt's timeout. A response to a timed-out attempt is dropped as
+    stale — it can never complete a later attempt. [None] after
+    [max_tries] failures. *)
+
+val retry_stats : 'r t -> retry_stats
+(** Cumulative {!call_retry} counters for this table. *)
+
 val complete : 'r t -> ticket:int -> 'r -> unit
 (** Deliver a response. Unknown or stale tickets are ignored (they belong to
     timed-out calls). *)

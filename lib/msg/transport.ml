@@ -7,16 +7,22 @@ type 'a packet = {
   src_core : Hw.Topology.core;
   payload : 'a;
   bytes : int;
+  seq : int;  (** per-(src,dst) sequence number, for duplicate suppression. *)
   enqueued_at : Time.t;
   doorbell : Time.t;
       (** IPI delivery latency to charge before processing; non-zero only
           when the receive worker was idle at send time. *)
+  extra_delay : Time.t;
+      (** injected per-message delivery latency (fault injection). *)
 }
 
 type 'a endpoint = {
   node : node;
   core : Hw.Topology.core;
   inbox : 'a packet Channel.t;
+  last_seq : (node, int) Hashtbl.t;
+      (** per-source highest delivered sequence number; rings are FIFO per
+          link, so a packet at or below it is a duplicate. *)
   mutable worker_idle : bool;
 }
 
@@ -25,6 +31,26 @@ type stats = {
   delivered : int;
   doorbells : int;
   total_latency : Time.t;
+  dropped : int;  (** messages lost to fault injection. *)
+  duplicated : int;  (** extra copies enqueued by fault injection. *)
+  dup_suppressed : int;  (** duplicates filtered before the handler. *)
+  doorbells_lost : int;  (** doorbell IPIs lost to fault injection. *)
+}
+
+(* Fault-injection interface: an installed hook set sees every message and
+   doorbell and may perturb it. [Inject.Plan] is the standard provider; the
+   indirection keeps this library free of a dependency on it. *)
+type fault_action = Pass | Drop | Duplicate | Delay of Time.t
+
+type hooks = {
+  on_send : src:node -> dst:node -> now:Time.t -> fault_action;
+  on_doorbell : src:node -> dst:node -> now:Time.t -> Time.t option;
+      (** [None]: the IPI arrives normally. [Some d]: the doorbell is lost
+          and the idle worker only notices the ring after [d] (the receive
+          path's recovery poll). *)
+  on_deliver : node:node -> now:Time.t -> Time.t;
+      (** Extra receiver-side delay before the worker processes the next
+          packet (kernel stall windows). 0 when the kernel is healthy. *)
 }
 
 type 'a t = {
@@ -32,10 +58,16 @@ type 'a t = {
   ring_slots : int;
   handler : 'a t -> dst:node -> src:node -> 'a -> unit;
   endpoints : (node, 'a endpoint) Hashtbl.t;
+  seq_tx : (node * node, int) Hashtbl.t;  (** (src,dst) -> last sent seq. *)
+  mutable hooks : hooks option;
   mutable st_sent : int;
   mutable st_delivered : int;
   mutable st_doorbells : int;
   mutable st_latency : Time.t;
+  mutable st_dropped : int;
+  mutable st_duplicated : int;
+  mutable st_dup_suppressed : int;
+  mutable st_doorbells_lost : int;
   mutable jitter : Time.t;
 }
 
@@ -46,10 +78,16 @@ let create machine ~ring_slots ~handler =
     ring_slots;
     handler;
     endpoints = Hashtbl.create 16;
+    seq_tx = Hashtbl.create 64;
+    hooks = None;
     st_sent = 0;
     st_delivered = 0;
     st_doorbells = 0;
     st_latency = Time.zero;
+    st_dropped = 0;
+    st_duplicated = 0;
+    st_dup_suppressed = 0;
+    st_doorbells_lost = 0;
     jitter = Time.zero;
   }
 
@@ -64,6 +102,8 @@ let nodes t =
   Hashtbl.fold (fun n _ acc -> n :: acc) t.endpoints [] |> List.sort compare
 
 let home_core t node = (endpoint t node).core
+
+let set_hooks t hooks = t.hooks <- hooks
 
 (* Receiver-side cost to pull a message out of the ring and enter the
    handler: payload copy plus a little dispatch work. *)
@@ -87,20 +127,41 @@ let worker_loop t ep =
     ep.worker_idle <- false;
     (* A doorbell wake-up: the IPI takes this long to reach us. *)
     Engine.sleep eng pkt.doorbell;
+    (* Injected per-message delivery latency. *)
+    Engine.sleep eng pkt.extra_delay;
+    (* Injected kernel stall: this kernel stops draining its ring. *)
+    (match t.hooks with
+    | Some h ->
+        let stall = h.on_deliver ~node:ep.node ~now:(Engine.now eng) in
+        if stall > 0 then Engine.sleep eng stall
+    | None -> ());
     Engine.sleep eng (receive_cost t ep pkt);
     (* Robustness-testing jitter: a per-message processing delay. It keeps
        each ring FIFO (as real shared-memory rings are) while perturbing
        interleavings across kernels. *)
     if t.jitter > 0 then
       Engine.sleep eng (Sim.Prng.int (Engine.rng eng) (t.jitter + 1));
-    t.st_delivered <- t.st_delivered + 1;
-    t.st_latency <-
-      Time.add t.st_latency (Time.sub (Engine.now eng) pkt.enqueued_at);
-    let src = pkt.src and payload = pkt.payload in
-    (* Fresh fiber per message: handlers may block on nested RPCs. *)
-    Engine.spawn eng ~name:(Printf.sprintf "msg-handler-n%d" ep.node)
-      (fun () -> t.handler t ~dst:ep.node ~src payload);
-    loop ()
+    (* Duplicate suppression: links are FIFO, so any packet whose sequence
+       number does not advance the per-source high-water mark has already
+       been delivered (a retransmission or an injected duplicate). *)
+    let last =
+      Option.value ~default:0 (Hashtbl.find_opt ep.last_seq pkt.src)
+    in
+    if pkt.seq <= last then begin
+      t.st_dup_suppressed <- t.st_dup_suppressed + 1;
+      loop ()
+    end
+    else begin
+      Hashtbl.replace ep.last_seq pkt.src pkt.seq;
+      t.st_delivered <- t.st_delivered + 1;
+      t.st_latency <-
+        Time.add t.st_latency (Time.sub (Engine.now eng) pkt.enqueued_at);
+      let src = pkt.src and payload = pkt.payload in
+      (* Fresh fiber per message: handlers may block on nested RPCs. *)
+      Engine.spawn eng ~name:(Printf.sprintf "msg-handler-n%d" ep.node)
+        (fun () -> t.handler t ~dst:ep.node ~src payload);
+      loop ()
+    end
   in
   loop ()
 
@@ -112,6 +173,7 @@ let add_node t node ~home_core =
       node;
       core = home_core;
       inbox = Channel.create t.machine.Hw.Machine.eng ~capacity:t.ring_slots;
+      last_seq = Hashtbl.create 16;
       worker_idle = true;
     }
   in
@@ -119,6 +181,47 @@ let add_node t node ~home_core =
   Engine.spawn t.machine.Hw.Machine.eng
     ~name:(Printf.sprintf "msg-worker-n%d" node)
     (fun () -> worker_loop t ep)
+
+let next_seq t ~src ~dst =
+  let seq = 1 + Option.value ~default:0 (Hashtbl.find_opt t.seq_tx (src, dst)) in
+  Hashtbl.replace t.seq_tx (src, dst) seq;
+  seq
+
+(* Ring write + (conditional) doorbell for one packet copy. *)
+let enqueue t ep ~src ~src_core ~bytes ~seq ~extra_delay payload =
+  let m = t.machine in
+  let eng = m.Hw.Machine.eng in
+  let was_idle = ep.worker_idle && Channel.is_empty ep.inbox in
+  let doorbell =
+    if was_idle then begin
+      t.st_doorbells <- t.st_doorbells + 1;
+      let latency =
+        Hw.Ipi.delivery_latency m.Hw.Machine.ipi ~src:src_core ~dst:ep.core
+      in
+      match t.hooks with
+      | None -> latency
+      | Some h -> (
+          match h.on_doorbell ~src ~dst:ep.node ~now:(Engine.now eng) with
+          | None -> latency
+          | Some recovery ->
+              (* Doorbell lost: the worker only notices the ring write at
+                 its next recovery poll. *)
+              t.st_doorbells_lost <- t.st_doorbells_lost + 1;
+              recovery)
+    end
+    else Time.zero
+  in
+  Channel.send ep.inbox
+    {
+      src;
+      src_core;
+      payload;
+      bytes;
+      seq;
+      enqueued_at = Engine.now eng;
+      doorbell;
+      extra_delay;
+    }
 
 let send_from_core t ~src ~src_core ~dst ~bytes payload =
   let m = t.machine in
@@ -134,19 +237,24 @@ let send_from_core t ~src ~src_core ~dst ~bytes payload =
   let copy = Hw.Params.copy_cost m.Hw.Machine.params ~bytes ~cross_socket:cross in
   Engine.sleep eng (Time.add reserve copy);
   t.st_sent <- t.st_sent + 1;
-  (* The ring write happens now (enqueue order = send order, FIFO); if the
-     worker is idle it additionally needs a doorbell IPI, charged on its
-     side before it processes this packet. *)
-  let was_idle = ep.worker_idle && Channel.is_empty ep.inbox in
-  let doorbell =
-    if was_idle then begin
-      t.st_doorbells <- t.st_doorbells + 1;
-      Hw.Ipi.delivery_latency m.Hw.Machine.ipi ~src:src_core ~dst:ep.core
-    end
-    else Time.zero
+  let seq = next_seq t ~src ~dst in
+  let action =
+    match t.hooks with
+    | None -> Pass
+    | Some h -> h.on_send ~src ~dst ~now:(Engine.now eng)
   in
-  Channel.send ep.inbox
-    { src; src_core; payload; bytes; enqueued_at = Engine.now eng; doorbell }
+  match action with
+  | Drop ->
+      (* The sender paid the full send cost, but the message never makes it
+         out of the ring (modelling a corrupted/lost slot). *)
+      t.st_dropped <- t.st_dropped + 1
+  | Pass | Duplicate | Delay _ ->
+      let extra_delay = match action with Delay d -> d | _ -> Time.zero in
+      enqueue t ep ~src ~src_core ~bytes ~seq ~extra_delay payload;
+      if action = Duplicate then begin
+        t.st_duplicated <- t.st_duplicated + 1;
+        enqueue t ep ~src ~src_core ~bytes ~seq ~extra_delay payload
+      end
 
 let send t ~src ~dst ~bytes payload =
   send_from_core t ~src ~src_core:(endpoint t src).core ~dst ~bytes payload
@@ -157,6 +265,10 @@ let stats t =
     delivered = t.st_delivered;
     doorbells = t.st_doorbells;
     total_latency = t.st_latency;
+    dropped = t.st_dropped;
+    duplicated = t.st_duplicated;
+    dup_suppressed = t.st_dup_suppressed;
+    doorbells_lost = t.st_doorbells_lost;
   }
 
 let set_jitter t ~max_extra =
@@ -167,4 +279,8 @@ let reset_stats t =
   t.st_sent <- 0;
   t.st_delivered <- 0;
   t.st_doorbells <- 0;
-  t.st_latency <- Time.zero
+  t.st_latency <- Time.zero;
+  t.st_dropped <- 0;
+  t.st_duplicated <- 0;
+  t.st_dup_suppressed <- 0;
+  t.st_doorbells_lost <- 0

@@ -23,7 +23,48 @@ type stats = {
   delivered : int;
   doorbells : int;
   total_latency : Time.t;  (** summed enqueue-to-handler-start latency. *)
+  dropped : int;  (** messages lost to fault injection. *)
+  duplicated : int;  (** extra copies enqueued by fault injection. *)
+  dup_suppressed : int;
+      (** duplicate packets filtered by sequence-number suppression before
+          reaching the handler. *)
+  doorbells_lost : int;  (** doorbell IPIs lost to fault injection. *)
 }
+
+(** {1 Fault injection}
+
+    An installed hook set intercepts every message and doorbell; the
+    standard provider is [Inject.Plan] (a seeded, deterministic fault
+    schedule). With no hooks installed — or hooks that always answer
+    [Pass]/[None]/[0] — the transport behaves exactly as before, paying no
+    extra simulated time, so fault-free runs are bit-identical whether or
+    not a (zero-rate) plan is attached.
+
+    Every packet carries a per-link (src,dst) sequence number; the receive
+    worker suppresses any packet that does not advance the per-source
+    high-water mark (links are FIFO), which filters both injected
+    duplicates and protocol-level retransmissions that were already
+    delivered. *)
+
+type fault_action =
+  | Pass  (** deliver normally. *)
+  | Drop  (** sender pays its costs but the message is lost. *)
+  | Duplicate  (** the message is enqueued twice (same sequence number). *)
+  | Delay of Time.t  (** deliver after this much extra latency. *)
+
+type hooks = {
+  on_send : src:node -> dst:node -> now:Time.t -> fault_action;
+  on_doorbell : src:node -> dst:node -> now:Time.t -> Time.t option;
+      (** Consulted only when a doorbell IPI is actually needed (idle
+          worker). [None]: the IPI arrives normally. [Some d]: the doorbell
+          is lost; the worker notices the ring write only after [d]. *)
+  on_deliver : node:node -> now:Time.t -> Time.t;
+      (** Extra receiver-side delay before the worker processes the next
+          packet (kernel stall windows). Return 0 when healthy. *)
+}
+
+val set_hooks : 'a t -> hooks option -> unit
+(** Install (or remove) the fault-injection hook set. *)
 
 val create :
   Hw.Machine.t ->

@@ -2,6 +2,7 @@ type t = {
   mutable now : Time.t;
   queue : (unit -> unit) Eheap.t;
   mutable seq : int;
+  seed : int;
   rng : Prng.t;
   mutable processed : int;
   mutable tracer : (Time.t -> string -> unit) option;
@@ -18,6 +19,7 @@ let create ?(seed = 42) () =
     now = Time.zero;
     queue = Eheap.create ();
     seq = 0;
+    seed;
     rng = Prng.create ~seed;
     processed = 0;
     tracer = None;
@@ -25,6 +27,7 @@ let create ?(seed = 42) () =
 
 let now t = t.now
 let rng t = t.rng
+let seed t = t.seed
 let events_processed t = t.processed
 
 let push t ~after run =

@@ -26,6 +26,11 @@ val now : t -> Time.t
 val rng : t -> Prng.t
 (** The engine's deterministic random stream. *)
 
+val seed : t -> int
+(** The seed this engine was created with. Components that need their own
+    independent random stream (e.g. fault injection) derive one from this
+    without advancing {!rng} — which would perturb the simulation. *)
+
 val events_processed : t -> int
 (** Total events executed so far; a cheap progress/complexity metric. *)
 

@@ -1,0 +1,403 @@
+(* Tests for the fault-injection subsystem (Inject.Plan) and the messaging
+   resilience it exercises: drop/delay/duplicate/stall injection, duplicate
+   suppression, retry-with-backoff recovery, and origin-fallback
+   degradation of migration. *)
+
+open Sim
+
+type proto = Ping of int | Req of { ticket : int } | Resp of { ticket : int }
+
+let mk_machine () = Hw.Machine.create ~sockets:2 ~cores_per_socket:4 ()
+
+(* A two-node fabric whose node 1 echoes [Req] back as [Resp]; node 0
+   completes responses against [rpc]. *)
+let mk_echo () =
+  let m = mk_machine () in
+  let eng = m.Hw.Machine.eng in
+  let rpc : proto Msg.Rpc.t = Msg.Rpc.create eng in
+  let fabric_ref = ref None in
+  let fabric =
+    Msg.Transport.create m ~ring_slots:16 ~handler:(fun _t ~dst ~src p ->
+        let fabric = Option.get !fabric_ref in
+        match p with
+        | Req { ticket } ->
+            Msg.Transport.send fabric ~src:dst ~dst:src ~bytes:64
+              (Resp { ticket })
+        | Resp { ticket } -> Msg.Rpc.complete rpc ~ticket p
+        | Ping _ -> ())
+  in
+  fabric_ref := Some fabric;
+  Msg.Transport.add_node fabric 0 ~home_core:0;
+  Msg.Transport.add_node fabric 1 ~home_core:4;
+  (m, fabric, rpc)
+
+let only_drop rate = { Inject.Plan.zero with Inject.Plan.drop = rate }
+
+(* --- zero-rate identity ------------------------------------------------ *)
+
+(* An attached plan with all-zero rates must not perturb the simulation at
+   all: same final time, same event count, same transport stats as a run
+   with no plan attached. *)
+let run_cluster_workload ~with_zero_plan () =
+  let machine =
+    Hw.Machine.create ~sockets:2 ~cores_per_socket:8 ()
+  in
+  let cluster =
+    Popcorn.Cluster.boot machine ~kernels:4 ~cores_per_kernel:4
+  in
+  let eng = machine.Hw.Machine.eng in
+  let injected = ref 0 in
+  let plan =
+    if with_zero_plan then begin
+      let plan = Inject.Plan.create eng in
+      Inject.Plan.attach plan cluster.Popcorn.Types.fabric;
+      Some plan
+    end
+    else None
+  in
+  Sim.Engine.spawn eng (fun () ->
+      let proc =
+        Popcorn.Api.start_process cluster ~origin:0 (fun th ->
+            for i = 1 to 3 do
+              Popcorn.Api.compute th (Time.us 5);
+              ignore (Popcorn.Api.migrate th ~dst:(i mod 4))
+            done)
+      in
+      Popcorn.Api.wait_exit cluster proc);
+  Sim.Engine.run eng;
+  (match plan with Some p -> injected := Inject.Plan.injected p | None -> ());
+  ( Sim.Engine.now eng,
+    Sim.Engine.events_processed eng,
+    Msg.Transport.stats cluster.Popcorn.Types.fabric,
+    !injected )
+
+let test_zero_rate_identity () =
+  let now0, ev0, st0, _ = run_cluster_workload ~with_zero_plan:false () in
+  let now1, ev1, st1, inj = run_cluster_workload ~with_zero_plan:true () in
+  Alcotest.(check int) "same final time" now0 now1;
+  Alcotest.(check int) "same event count" ev0 ev1;
+  Alcotest.(check bool) "same transport stats" true (st0 = st1);
+  Alcotest.(check int) "nothing injected" 0 inj
+
+(* --- individual fault kinds -------------------------------------------- *)
+
+let test_drop () =
+  let m, fabric, _rpc = mk_echo () in
+  let eng = m.Hw.Machine.eng in
+  let plan = Inject.Plan.create ~seed:11 eng in
+  Inject.Plan.attach plan fabric;
+  Inject.Plan.set_link plan ~src:0 ~dst:1 (only_drop 1.0);
+  Engine.spawn eng (fun () ->
+      for i = 1 to 5 do
+        Msg.Transport.send fabric ~src:0 ~dst:1 ~bytes:64 (Ping i)
+      done);
+  Engine.run eng;
+  let st = Msg.Transport.stats fabric in
+  Alcotest.(check int) "all counted as sent" 5 st.Msg.Transport.sent;
+  Alcotest.(check int) "none delivered" 0 st.Msg.Transport.delivered;
+  Alcotest.(check int) "all dropped" 5 st.Msg.Transport.dropped;
+  Alcotest.(check int) "plan agrees" 5 (Inject.Plan.stats plan).Inject.Plan.drops
+
+let test_duplicate_suppression () =
+  let m = mk_machine () in
+  let eng = m.Hw.Machine.eng in
+  let got = ref 0 in
+  let fabric =
+    Msg.Transport.create m ~ring_slots:16 ~handler:(fun _t ~dst:_ ~src:_ p ->
+        match p with Ping _ -> incr got | _ -> ())
+  in
+  Msg.Transport.add_node fabric 0 ~home_core:0;
+  Msg.Transport.add_node fabric 1 ~home_core:4;
+  let plan = Inject.Plan.create ~seed:12 eng in
+  Inject.Plan.attach plan fabric;
+  Inject.Plan.set_link plan ~src:0 ~dst:1
+    { Inject.Plan.zero with Inject.Plan.duplicate = 1.0 };
+  let n = 7 in
+  Engine.spawn eng (fun () ->
+      for i = 1 to n do
+        Msg.Transport.send fabric ~src:0 ~dst:1 ~bytes:64 (Ping i)
+      done);
+  Engine.run eng;
+  let st = Msg.Transport.stats fabric in
+  Alcotest.(check int) "handler ran once per message" n !got;
+  Alcotest.(check int) "every message duplicated" n st.Msg.Transport.duplicated;
+  Alcotest.(check int) "every copy suppressed" n
+    st.Msg.Transport.dup_suppressed;
+  Alcotest.(check int) "plan agrees" n
+    (Inject.Plan.stats plan).Inject.Plan.duplicates
+
+let one_ping_arrival ~tweak () =
+  let m = mk_machine () in
+  let eng = m.Hw.Machine.eng in
+  let arrival = ref 0 in
+  let fabric =
+    Msg.Transport.create m ~ring_slots:16 ~handler:(fun _t ~dst:_ ~src:_ _ ->
+        arrival := Engine.now eng)
+  in
+  Msg.Transport.add_node fabric 0 ~home_core:0;
+  Msg.Transport.add_node fabric 1 ~home_core:4;
+  tweak eng fabric;
+  Engine.spawn eng (fun () ->
+      Msg.Transport.send fabric ~src:0 ~dst:1 ~bytes:64 (Ping 0));
+  Engine.run eng;
+  !arrival
+
+let test_delay () =
+  let base = one_ping_arrival ~tweak:(fun _ _ -> ()) () in
+  let plan_stats = ref None in
+  let delayed =
+    one_ping_arrival
+      ~tweak:(fun eng fabric ->
+        let plan = Inject.Plan.create ~seed:13 eng in
+        Inject.Plan.attach plan fabric;
+        Inject.Plan.set_link plan ~src:0 ~dst:1
+          {
+            Inject.Plan.zero with
+            Inject.Plan.delay = 1.0;
+            delay_max = Time.us 10;
+          };
+        plan_stats := Some plan)
+      ()
+  in
+  Alcotest.(check bool) "delivered strictly later" true (delayed > base);
+  Alcotest.(check bool) "bounded extra" true
+    (delayed - base <= Time.us 10);
+  match !plan_stats with
+  | Some plan ->
+      Alcotest.(check int) "one delay injected" 1
+        (Inject.Plan.stats plan).Inject.Plan.delays
+  | None -> Alcotest.fail "plan not created"
+
+let test_doorbell_loss () =
+  let recovery = Time.us 100 in
+  let arrival =
+    one_ping_arrival
+      ~tweak:(fun eng fabric ->
+        let plan = Inject.Plan.create ~seed:14 eng in
+        Inject.Plan.attach plan fabric;
+        Inject.Plan.set_link plan ~src:0 ~dst:1
+          {
+            Inject.Plan.zero with
+            Inject.Plan.doorbell_loss = 1.0;
+            doorbell_recovery = recovery;
+          })
+      ()
+  in
+  (* The lost doorbell is replaced by the recovery poll latency. *)
+  Alcotest.(check bool) "arrival waits for recovery poll" true
+    (arrival >= recovery)
+
+let test_stall_window () =
+  let until_ = Time.us 200 in
+  let arrival =
+    one_ping_arrival
+      ~tweak:(fun eng fabric ->
+        let plan = Inject.Plan.create ~seed:15 eng in
+        Inject.Plan.attach plan fabric;
+        Inject.Plan.add_stall plan ~node:1 ~from_:0 ~until_)
+      ()
+  in
+  Alcotest.(check bool) "delivery held until the stall ends" true
+    (arrival >= until_)
+
+(* --- retry: recovery and giving up ------------------------------------- *)
+
+let policy ~tries =
+  {
+    Msg.Rpc.max_tries = tries;
+    base_timeout = Time.us 50;
+    backoff_factor = 2;
+    max_timeout = Time.ms 1;
+  }
+
+let test_retry_recovers () =
+  let m, fabric, rpc = mk_echo () in
+  let eng = m.Hw.Machine.eng in
+  let plan = Inject.Plan.create ~seed:16 eng in
+  Inject.Plan.attach plan fabric;
+  (* Requests 0->1 are certain losses until the outage "heals" at 120us;
+     with 50us/100us/200us attempt timeouts the third attempt lands. *)
+  Inject.Plan.set_link plan ~src:0 ~dst:1 (only_drop 1.0);
+  Engine.schedule eng ~after:(Time.us 120) (fun () ->
+      Inject.Plan.set_link plan ~src:0 ~dst:1 Inject.Plan.zero);
+  let result = ref None in
+  Engine.spawn eng (fun () ->
+      result :=
+        Msg.Rpc.call_retry rpc ~policy:(policy ~tries:5)
+          (fun ~attempt:_ ticket ->
+            Msg.Transport.send fabric ~src:0 ~dst:1 ~bytes:64 (Req { ticket })));
+  Engine.run eng;
+  (match !result with
+  | Some (Resp _) -> ()
+  | _ -> Alcotest.fail "retry did not recover");
+  let s = Msg.Rpc.retry_stats rpc in
+  Alcotest.(check bool) "retransmitted" true (s.Msg.Rpc.retried >= 2);
+  Alcotest.(check int) "recovered once" 1 s.Msg.Rpc.recovered;
+  Alcotest.(check int) "never gave up" 0 s.Msg.Rpc.gave_up;
+  Alcotest.(check bool) "drops recorded" true
+    ((Inject.Plan.stats plan).Inject.Plan.drops >= 2)
+
+let test_retry_gives_up () =
+  let m, fabric, rpc = mk_echo () in
+  let eng = m.Hw.Machine.eng in
+  let plan = Inject.Plan.create ~seed:17 eng in
+  Inject.Plan.attach plan fabric;
+  Inject.Plan.set_link plan ~src:0 ~dst:1 (only_drop 1.0);
+  let result = ref (Some (Ping 0)) in
+  Engine.spawn eng (fun () ->
+      result :=
+        Msg.Rpc.call_retry rpc ~policy:(policy ~tries:2)
+          (fun ~attempt:_ ticket ->
+            Msg.Transport.send fabric ~src:0 ~dst:1 ~bytes:64 (Req { ticket })));
+  Engine.run eng;
+  Alcotest.(check bool) "gave up" true (!result = None);
+  let s = Msg.Rpc.retry_stats rpc in
+  Alcotest.(check int) "one give-up" 1 s.Msg.Rpc.gave_up;
+  Alcotest.(check int) "no recovery" 0 s.Msg.Rpc.recovered;
+  Alcotest.(check int) "no ticket leaked" 0 (Msg.Rpc.pending rpc)
+
+(* --- raw IPI faults ----------------------------------------------------- *)
+
+let test_ipi_drop () =
+  let m = mk_machine () in
+  let eng = m.Hw.Machine.eng in
+  let ipi = Hw.Ipi.create eng m.Hw.Machine.params m.Hw.Machine.topo in
+  let plan = Inject.Plan.create ~seed:18 eng in
+  Inject.Plan.set_default_rates plan
+    { Inject.Plan.zero with Inject.Plan.doorbell_loss = 1.0 };
+  Inject.Plan.attach_ipi plan ipi;
+  let ran = ref false in
+  Engine.spawn eng (fun () ->
+      Hw.Ipi.send ipi ~src:0 ~dst:4 (fun () -> ran := true));
+  Engine.run eng;
+  Alcotest.(check bool) "handler never ran" false !ran;
+  Alcotest.(check int) "ipi counted dropped" 1 (Hw.Ipi.dropped ipi);
+  Alcotest.(check int) "plan agrees" 1
+    (Inject.Plan.stats plan).Inject.Plan.ipi_drops
+
+(* --- determinism -------------------------------------------------------- *)
+
+(* Same (seed, rates) on the same workload: identical fault schedule,
+   identical outcome. *)
+let faulty_run () =
+  let m, fabric, rpc = mk_echo () in
+  let eng = m.Hw.Machine.eng in
+  let plan = Inject.Plan.create ~seed:42 eng in
+  Inject.Plan.attach plan fabric;
+  Inject.Plan.set_default_rates plan
+    {
+      Inject.Plan.drop = 0.2;
+      duplicate = 0.3;
+      delay = 0.3;
+      delay_max = Time.us 10;
+      doorbell_loss = 0.2;
+      doorbell_recovery = Time.us 20;
+    };
+  let ok = ref 0 in
+  Engine.spawn eng (fun () ->
+      for _ = 1 to 20 do
+        match
+          Msg.Rpc.call_retry rpc ~policy:(policy ~tries:6)
+            (fun ~attempt:_ ticket ->
+              Msg.Transport.send fabric ~src:0 ~dst:1 ~bytes:64 (Req { ticket }))
+        with
+        | Some _ -> incr ok
+        | None -> ()
+      done);
+  Engine.run eng;
+  (Engine.now eng, !ok, Inject.Plan.stats plan, Msg.Transport.stats fabric)
+
+let test_determinism () =
+  let a = faulty_run () in
+  let b = faulty_run () in
+  Alcotest.(check bool) "identical faulty runs" true (a = b);
+  let _, _, st, _ = a in
+  Alcotest.(check bool) "faults actually injected" true
+    (st.Inject.Plan.drops + st.Inject.Plan.duplicates + st.Inject.Plan.delays
+     > 0)
+
+(* --- graceful degradation: origin fallback ------------------------------ *)
+
+let test_origin_fallback () =
+  let opts =
+    {
+      Popcorn.Types.default_options with
+      Popcorn.Types.migration_retry = Some (policy ~tries:2);
+    }
+  in
+  let machine = Hw.Machine.create ~sockets:2 ~cores_per_socket:8 () in
+  let cluster =
+    Popcorn.Cluster.boot ~opts machine ~kernels:4 ~cores_per_kernel:4
+  in
+  let eng = machine.Hw.Machine.eng in
+  let plan = Inject.Plan.create eng in
+  Inject.Plan.attach plan cluster.Popcorn.Types.fabric;
+  let b_ref = ref None in
+  let kernel_after = ref (-1) in
+  Sim.Engine.spawn eng (fun () ->
+      let proc =
+        Popcorn.Api.start_process cluster ~origin:0 (fun th ->
+            Popcorn.Api.compute th (Time.us 5);
+            (* Sever the origin->destination link: every migration request
+               (and its retransmissions) is lost. *)
+            Inject.Plan.set_link plan ~src:0 ~dst:1 (only_drop 1.0);
+            let b = Popcorn.Api.migrate th ~dst:1 in
+            b_ref := Some b;
+            kernel_after := (Popcorn.Api.current_kernel th).Popcorn.Types.kid;
+            Inject.Plan.set_link plan ~src:0 ~dst:1 Inject.Plan.zero;
+            (* The thread must still be runnable on its origin kernel. *)
+            Popcorn.Api.compute th (Time.us 5))
+      in
+      Popcorn.Api.wait_exit cluster proc);
+  Sim.Engine.run eng;
+  (match !b_ref with
+  | None -> Alcotest.fail "thread never finished the migrate call"
+  | Some b ->
+      Alcotest.(check bool) "migration reported failed" false
+        b.Popcorn.Migration.migrated;
+      Alcotest.(check bool) "fallback still costs time" true
+        (b.Popcorn.Migration.total_ns > 0));
+  Alcotest.(check int) "thread stayed on origin kernel" 0 !kernel_after;
+  let s =
+    Msg.Rpc.retry_stats cluster.Popcorn.Types.kernels.(0).Popcorn.Types.rpc
+  in
+  Alcotest.(check int) "migration rpc gave up once" 1 s.Msg.Rpc.gave_up;
+  Alcotest.(check bool) "requests were dropped" true
+    ((Inject.Plan.stats plan).Inject.Plan.drops >= 2)
+
+let () =
+  Alcotest.run "inject"
+    [
+      ( "identity",
+        [
+          Alcotest.test_case "zero-rate plan is bit-identical" `Quick
+            test_zero_rate_identity;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "drop" `Quick test_drop;
+          Alcotest.test_case "duplicate + suppression" `Quick
+            test_duplicate_suppression;
+          Alcotest.test_case "delay" `Quick test_delay;
+          Alcotest.test_case "doorbell loss" `Quick test_doorbell_loss;
+          Alcotest.test_case "kernel stall window" `Quick test_stall_window;
+          Alcotest.test_case "raw ipi drop" `Quick test_ipi_drop;
+        ] );
+      ( "retry",
+        [
+          Alcotest.test_case "recovers after outage" `Quick
+            test_retry_recovers;
+          Alcotest.test_case "gives up when exhausted" `Quick
+            test_retry_gives_up;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "same seed, same schedule" `Quick
+            test_determinism;
+        ] );
+      ( "degradation",
+        [
+          Alcotest.test_case "migration falls back to origin" `Quick
+            test_origin_fallback;
+        ] );
+    ]

@@ -125,6 +125,33 @@ let test_rpc_timeout_and_stale () =
   Msg.Rpc.complete rpc ~ticket:!the_ticket 1;
   Alcotest.(check int) "no pending" 0 (Msg.Rpc.pending rpc)
 
+let test_rpc_stale_ticket_vs_later_call () =
+  (* A response that arrives after its call timed out must not complete a
+     LATER call: the stale ticket was forgotten, and the new call has its
+     own ticket. If stale completion leaked into the new call it would see
+     666 (and the real response, 42, would then be dropped as unknown). *)
+  let eng = Engine.create () in
+  let rpc : int Msg.Rpc.t = Msg.Rpc.create eng in
+  let first = ref (Some 0) in
+  let stale_ticket = ref 0 in
+  let second = ref 0 in
+  Engine.spawn eng (fun () ->
+      first :=
+        Msg.Rpc.call_timeout rpc ~timeout:(Time.us 10) (fun ticket ->
+            stale_ticket := ticket);
+      second :=
+        Msg.Rpc.call rpc (fun ticket ->
+            (* The late response to the timed-out call lands first... *)
+            Engine.schedule eng ~after:(Time.us 5) (fun () ->
+                Msg.Rpc.complete rpc ~ticket:!stale_ticket 666);
+            (* ...then the genuine response. *)
+            Engine.schedule eng ~after:(Time.us 20) (fun () ->
+                Msg.Rpc.complete rpc ~ticket 42)));
+  Engine.run eng;
+  Alcotest.(check bool) "first call timed out" true (!first = None);
+  Alcotest.(check int) "second call got its own response" 42 !second;
+  Alcotest.(check int) "no pending" 0 (Msg.Rpc.pending rpc)
+
 let test_rpc_forget () =
   let eng = Engine.create () in
   let rpc : int Msg.Rpc.t = Msg.Rpc.create eng in
@@ -240,6 +267,8 @@ let () =
             test_rpc_immediate_completion;
           Alcotest.test_case "timeout + stale drop" `Quick
             test_rpc_timeout_and_stale;
+          Alcotest.test_case "stale ticket cannot complete later call" `Quick
+            test_rpc_stale_ticket_vs_later_call;
           Alcotest.test_case "forget" `Quick test_rpc_forget;
         ] );
       ( "gather",

@@ -298,6 +298,29 @@ let test_trace_ring () =
   Trace.clear tr;
   Alcotest.(check int) "cleared" 0 (Trace.count tr)
 
+let test_trace_overflow () =
+  (* Many wraparounds: [total] keeps counting while [count]/[events] stay
+     bounded by the capacity and hold exactly the newest events. *)
+  let cap = 8 in
+  let n = 1000 in
+  let tr = Trace.create ~capacity:cap () in
+  for i = 1 to n do
+    Trace.emit tr ~at:i ~cat:"c" (string_of_int i)
+  done;
+  Alcotest.(check int) "total counts every emit" n (Trace.total tr);
+  Alcotest.(check int) "count bounded by capacity" cap (Trace.count tr);
+  let msgs = List.map (fun e -> e.Trace.msg) (Trace.events tr) in
+  Alcotest.(check int) "events bounded by capacity" cap (List.length msgs);
+  Alcotest.(check (list string))
+    "exactly the newest events survive"
+    (List.init cap (fun i -> string_of_int (n - cap + 1 + i)))
+    msgs;
+  (* Overflow then clear: counters reset, ring reusable. *)
+  Trace.clear tr;
+  Alcotest.(check int) "cleared count" 0 (Trace.count tr);
+  Trace.emit tr ~at:(n + 1) ~cat:"c" "again";
+  Alcotest.(check int) "usable after clear" 1 (Trace.count tr)
+
 let test_trace_chronological () =
   let tr = Trace.create () in
   Trace.emit tr ~at:30 ~cat:"c" "late";
@@ -393,6 +416,8 @@ let () =
       ( "trace",
         [
           Alcotest.test_case "ring + filter" `Quick test_trace_ring;
+          Alcotest.test_case "overflow keeps newest" `Quick
+            test_trace_overflow;
           Alcotest.test_case "order" `Quick test_trace_chronological;
         ] );
       ( "channel",
