@@ -10,7 +10,8 @@
 
 let usage () =
   print_endline
-    "usage: main.exe [--exp T1|T2|F1|..|F6] [--quick] [--bechamel] [--list]";
+    "usage: main.exe [--exp T1|T2|F1|..|F6] [--quick] [--bechamel] [--list] \
+     [--json FILE]";
   exit 1
 
 (* One Bechamel Test.make per table/figure; measures wall-clock time of a
@@ -63,17 +64,29 @@ let () =
   end;
   if bech then bechamel_mode ()
   else begin
-    let rec exp_arg = function
-      | "--exp" :: id :: _ -> Some id
-      | _ :: rest -> exp_arg rest
+    let rec keyed key = function
+      | k :: v :: _ when k = key -> Some v
+      | _ :: rest -> keyed key rest
       | [] -> None
     in
-    match exp_arg args with
-    | None -> Experiments.Registry.run_all ~quick ()
-    | Some id -> (
-        match Experiments.Registry.find id with
-        | Some e -> Experiments.Registry.run_one ~quick e
-        | None ->
-            Printf.eprintf "unknown experiment id: %s\n" id;
-            usage ())
+    let json_path = keyed "--json" args in
+    (* Observability is on iff the results are being exported; plain table
+       runs stay instrumentation-free. *)
+    let observe = json_path <> None in
+    let outcomes =
+      match keyed "--exp" args with
+      | None -> Experiments.Registry.run_all ~quick ~observe ()
+      | Some id -> (
+          match Experiments.Registry.find id with
+          | Some e -> [ Experiments.Registry.run_one ~quick ~observe e ]
+          | None ->
+              Printf.eprintf "unknown experiment id: %s\n" id;
+              usage ())
+    in
+    match json_path with
+    | None -> ()
+    | Some path ->
+        Obs.Json.to_file path
+          (Experiments.Registry.report_json ~quick outcomes);
+        Printf.printf "\nwrote %s\n" path
   end

@@ -4,7 +4,12 @@
      list               show the reproduction experiments
      run <id> [--quick] run one experiment (ids from `popcornsim list`)
      all [--quick]      run every experiment
-     demo [...]         boot a cluster and run a demonstration workload *)
+     demo [...]         boot a cluster and run a demonstration workload
+     metrics demo [...] demo workload with the observability layer attached
+
+   `run` and `all` accept --json FILE (machine-readable results + metrics)
+   and --trace-out FILE (Chrome trace_event JSON of the migration-protocol
+   spans; load it at https://ui.perfetto.dev). *)
 
 open Cmdliner
 
@@ -18,6 +23,37 @@ let experiment_ids =
 let quick =
   let doc = "Shrink parameter sweeps for a fast run." in
   Arg.(value & flag & info [ "quick" ] ~doc)
+
+let json_out =
+  let doc = "Write machine-readable results (tables + metrics) to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let trace_out =
+  let doc =
+    "Write a Chrome trace_event JSON of the recorded protocol spans to \
+     $(docv) (load in Perfetto or chrome://tracing)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+(* Shared by `run` and `all`: export outcomes to --json / --trace-out. *)
+let export ~quick outcomes json trace =
+  (match json with
+  | None -> ()
+  | Some path ->
+      Obs.Json.to_file path (Experiments.Registry.report_json ~quick outcomes);
+      Printf.printf "wrote %s\n" path);
+  match trace with
+  | None -> ()
+  | Some path ->
+      let sinks =
+        List.filter_map
+          (fun (o : Experiments.Registry.outcome) -> o.sink)
+          outcomes
+      in
+      let spans = List.map (fun (s : Obs.Sink.t) -> s.Obs.Sink.spans) sinks in
+      let traces = List.map (fun (s : Obs.Sink.t) -> s.Obs.Sink.trace) sinks in
+      Obs.Json.to_file path (Obs.Export.chrome_trace ~spans ~traces ());
+      Printf.printf "wrote %s\n" path
 
 (* --- list --- *)
 
@@ -39,22 +75,28 @@ let run_cmd =
     let doc = Printf.sprintf "Experiment id (%s)." experiment_ids in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
   in
-  let run id quick =
+  let run id quick json trace =
     match Experiments.Registry.find id with
     | Some e ->
-        Experiments.Registry.run_one ~quick e;
+        let observe = json <> None || trace <> None in
+        let o = Experiments.Registry.run_one ~quick ~observe e in
+        export ~quick [ o ] json trace;
         `Ok ()
     | None -> `Error (false, "unknown experiment id: " ^ id)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one experiment and print its tables.")
-    Term.(ret (const run $ id $ quick))
+    Term.(ret (const run $ id $ quick $ json_out $ trace_out))
 
 (* --- all --- *)
 
 let all_cmd =
-  let run quick = Experiments.Registry.run_all ~quick () in
+  let run quick json trace =
+    let observe = json <> None || trace <> None in
+    let outcomes = Experiments.Registry.run_all ~quick ~observe () in
+    export ~quick outcomes json trace
+  in
   Cmd.v (Cmd.info "all" ~doc:"Run every experiment.")
-    Term.(const run $ quick)
+    Term.(const run $ quick $ json_out $ trace_out)
 
 (* --- demo --- *)
 
@@ -123,9 +165,97 @@ let demo_cmd =
        ~doc:"Boot a cluster, span threads across kernels, migrate them.")
     Term.(ret (const run $ kernels $ threads $ trace_flag))
 
+(* --- metrics (observability demo) --- *)
+
+let metrics_demo_cmd =
+  let kernels =
+    let doc = "Number of kernels to boot." in
+    Arg.(value & opt int 4 & info [ "kernels" ] ~doc)
+  in
+  let threads =
+    let doc = "Worker threads to span across the kernels." in
+    Arg.(value & opt int 8 & info [ "threads" ] ~doc)
+  in
+  let run kernels threads json trace =
+    if kernels < 1 || 16 mod kernels <> 0 then
+      `Error (false, "kernels must divide 16")
+    else begin
+      let machine = Hw.Machine.create ~sockets:2 ~cores_per_socket:8 () in
+      let cluster =
+        Popcorn.Cluster.boot machine ~kernels ~cores_per_kernel:(16 / kernels)
+      in
+      let sink = Obs.Sink.create () in
+      Hw.Machine.attach_obs machine ~metrics:sink.Obs.Sink.metrics
+        ~spans:sink.Obs.Sink.spans ();
+      Popcorn.Cluster.observe ~metrics:sink.Obs.Sink.metrics
+        ~tracer:sink.Obs.Sink.trace cluster;
+      let eng = machine.Hw.Machine.eng in
+      Sim.Engine.spawn eng (fun () ->
+          let proc =
+            Popcorn.Api.start_process cluster ~origin:0 (fun th ->
+                let latch = Workloads.Latch.create eng threads in
+                for i = 0 to threads - 1 do
+                  ignore
+                    (Popcorn.Api.spawn th ~target:(i mod kernels)
+                       (fun worker ->
+                         Popcorn.Api.compute worker (Sim.Time.us 50);
+                         (* Shared-heap writes to exercise page coherence. *)
+                         for p = 0 to 3 do
+                           ignore
+                             (Popcorn.Api.write worker
+                                ~addr:(0x800000 + (p * 4096)))
+                         done;
+                         ignore
+                           (Popcorn.Api.migrate worker
+                              ~dst:((i + 1) mod kernels));
+                         Popcorn.Api.compute worker (Sim.Time.us 50);
+                         (* A short timed futex wait: futex.waits with no
+                            matching wake, so it times out. *)
+                         ignore
+                           (Popcorn.Api.futex_wait worker ~addr:0x800100
+                              ~timeout:(Sim.Time.us 20) ());
+                         Workloads.Latch.arrive latch))
+                done;
+                Workloads.Latch.wait latch)
+          in
+          Popcorn.Api.wait_exit cluster proc);
+      Sim.Engine.run eng;
+      Printf.printf
+        "metrics demo: %d threads over %d kernels; simulated time %s\n\n"
+        threads kernels
+        (Sim.Time.to_string (Sim.Engine.now eng));
+      Format.printf "%a@?" Obs.Metrics.pp sink.Obs.Sink.metrics;
+      (match json with
+      | None -> ()
+      | Some path ->
+          Obs.Json.to_file path (Obs.Metrics.to_json sink.Obs.Sink.metrics);
+          Printf.printf "wrote %s\n" path);
+      (match trace with
+      | None -> ()
+      | Some path ->
+          Obs.Json.to_file path (Obs.Sink.chrome_trace sink);
+          Printf.printf "wrote %s\n" path);
+      `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "demo"
+       ~doc:
+         "Demo workload with the observability layer attached; prints the \
+          per-kernel metrics and optionally exports them.")
+    Term.(ret (const run $ kernels $ threads $ json_out $ trace_out))
+
+let metrics_cmd =
+  Cmd.group
+    (Cmd.info "metrics"
+       ~doc:"Observability: run instrumented workloads and export metrics.")
+    [ metrics_demo_cmd ]
+
 let () =
   let info =
     Cmd.info "popcornsim" ~version:"1.0.0"
       ~doc:"Replicated-kernel OS simulator (Popcorn Linux reproduction)."
   in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; all_cmd; demo_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ list_cmd; run_cmd; all_cmd; demo_cmd; metrics_cmd ]))

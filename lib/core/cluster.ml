@@ -171,6 +171,20 @@ let enable_tracing ?capacity cluster =
   cluster.tracer <- Some tr;
   tr
 
+(** Attach an observability sink to the whole cluster: the metrics registry
+    and span recorder go to the machine (the messaging layer and the OS
+    models consult them), the trace ring becomes the protocol tracer, and
+    every kernel's RPC table gets its rpc.* counters routed. *)
+let observe ?metrics ?spans ?tracer cluster =
+  Hw.Machine.attach_obs cluster.machine ?metrics ?spans ();
+  (match tracer with Some _ -> cluster.tracer <- tracer | None -> ());
+  match metrics with
+  | None -> ()
+  | Some reg ->
+      Array.iter
+        (fun k -> Msg.Rpc.set_metrics k.rpc reg ~kernel:k.kid)
+        cluster.kernels
+
 (** Create a fresh single-threaded process on [origin_kernel] with an
     initial layout (code+stack+heap), returning (process, initial task). *)
 let create_process cluster ~origin_kernel : process * K.Task.t =

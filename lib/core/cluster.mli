@@ -18,6 +18,18 @@ val enable_tracing : ?capacity:int -> cluster -> Sim.Trace.t
 (** Start collecting protocol events (migrations, faults, mm ops...);
     returns the trace for inspection or [Sim.Trace.pp]. *)
 
+val observe :
+  ?metrics:Obs.Metrics.t ->
+  ?spans:Obs.Span.t ->
+  ?tracer:Sim.Trace.t ->
+  cluster ->
+  unit
+(** Attach observability: [metrics] and [spans] go to the machine (and
+    [metrics] additionally to every kernel's RPC table for rpc.* counters);
+    [tracer] becomes the protocol-event tracer. Typically called right after
+    {!boot} with the pieces of an [Obs.Sink.t]. With nothing attached the
+    instrumentation is free and simulated results are bit-identical. *)
+
 val create_process :
   cluster -> origin_kernel:int -> process * Kernelmodel.Task.t
 (** Fresh single-threaded process on [origin_kernel] with a conventional

@@ -65,6 +65,7 @@ let handle_wake_req cluster (kernel : kernel) ~src ~ticket ~pid ~addr ~count =
     end
   in
   let woken = pop 0 in
+  m_add cluster ~kernel:kernel.kid "futex.woken" woken;
   send cluster ~src:kernel.kid ~dst:src (Futex_wake_resp { ticket; woken })
 
 let handle_grant (kernel : kernel) ~wake_ticket =
@@ -80,6 +81,7 @@ let handle_grant (kernel : kernel) ~wake_ticket =
 let wait cluster (kernel : kernel) ~core ~pid ?timeout () ~addr : wait_result
     =
   let p = params cluster in
+  m_incr cluster ~kernel:kernel.kid "futex.waits";
   Proto_util.kernel_work cluster p.Hw.Params.syscall_overhead;
   let r = replica_exn kernel pid in
   let proc = r.proc in
@@ -140,12 +142,15 @@ let wait cluster (kernel : kernel) ~core ~pid ?timeout () ~addr : wait_result
 (** FUTEX_WAKE: wake up to [count] waiters; returns how many. *)
 let wake cluster (kernel : kernel) ~core ~pid ~addr ~count : int =
   let p = params cluster in
+  m_incr cluster ~kernel:kernel.kid "futex.wakes";
   Proto_util.kernel_work cluster p.Hw.Params.syscall_overhead;
   let r = replica_exn kernel pid in
   let proc = r.proc in
   if (not r.distributed) && kernel.kid = proc.origin then begin
     Proto_util.kernel_work cluster futex_op_cost;
-    K.Futex.wake kernel.local_futex ~addr ~count
+    let woken = K.Futex.wake kernel.local_futex ~addr ~count in
+    m_add cluster ~kernel:kernel.kid "futex.woken" woken;
+    woken
   end
   else if kernel.kid = proc.origin then begin
     (* Origin-local distributed wake: operate on the global queue directly
@@ -167,7 +172,9 @@ let wake cluster (kernel : kernel) ~core ~pid ~addr ~count : int =
         pop (n + 1)
       end
     in
-    local + pop 0
+    let woken = local + pop 0 in
+    m_add cluster ~kernel:kernel.kid "futex.woken" woken;
+    woken
   end
   else begin
     match

@@ -59,6 +59,9 @@ let handle_migrate_req cluster (kernel : kernel) ~src ~ticket ~pid
   else begin
     let eng = eng cluster in
     let t0 = Sim.Engine.now eng in
+    let sp =
+      sp_begin cluster ~tid:task.K.Task.tid ~kernel:kernel.kid Obs.Span.Import
+    in
     let proc = proc_exn cluster pid in
     let r = Thread_group.ensure_replica cluster kernel proc in
     Process_model.adopt_task cluster kernel r task;
@@ -66,6 +69,8 @@ let handle_migrate_req cluster (kernel : kernel) ~src ~ticket ~pid
     Proto_util.kernel_work cluster (restore_ctx_cost task.K.Task.ctx);
     Proto_util.kernel_work cluster mm_attach_cost;
     K.Task.set_state task K.Task.Ready;
+    sp_end cluster sp;
+    m_incr cluster ~kernel:kernel.kid "migration.imported";
     let import_ns = Sim.Time.sub (Sim.Engine.now eng) t0 in
     trace cluster ~cat:"migrate" "k%d imported tid %d of pid %d (%dns)"
       kernel.kid task.K.Task.tid pid import_ns;
@@ -130,6 +135,13 @@ let migrate cluster (kernel : kernel) ~core (task : K.Task.t) ~dst :
     let eng = eng cluster in
     let p = params cluster in
     let t0 = Sim.Engine.now eng in
+    let tid = task.K.Task.tid in
+    m_incr cluster ~kernel:kernel.kid "migration.started";
+    let sp_mig = sp_begin cluster ~tid ~kernel:kernel.kid Obs.Span.Migration in
+    let sp_cap =
+      sp_begin cluster ?parent:sp_mig ~tid ~kernel:kernel.kid
+        Obs.Span.Context_capture
+    in
     Proto_util.kernel_work cluster p.Hw.Params.syscall_overhead;
     (* Save the outgoing context. *)
     K.Task.set_state task (K.Task.Blocked "migration");
@@ -141,6 +153,11 @@ let migrate cluster (kernel : kernel) ~core (task : K.Task.t) ~dst :
     if kernel.arch <> (kernel_of cluster dst).arch then
       Proto_util.kernel_work cluster isa_transform_cost;
     let t_saved = Sim.Engine.now eng in
+    sp_end cluster sp_cap;
+    let sp_xfer =
+      sp_begin cluster ?parent:sp_mig ~tid ~kernel:kernel.kid
+        Obs.Span.Transfer
+    in
     (* Ship it and wait for the destination to adopt. Without a retry
        policy this parks until the ack arrives (fault-free fabric); with
        one, the request is retransmitted and may ultimately fail. *)
@@ -156,6 +173,8 @@ let migrate cluster (kernel : kernel) ~core (task : K.Task.t) ~dst :
     match response with
     | Some (Migrate_ack { import_ns; _ }) ->
         let t_acked = Sim.Engine.now eng in
+        sp_end cluster sp_xfer;
+        let sp_resume = sp_begin cluster ?parent:sp_mig ~tid ~kernel:dst Obs.Span.Resume in
         (* Source-side teardown: the task no longer runs here. *)
         let r = replica_exn kernel task.K.Task.tgid in
         r.members <- List.filter (fun t -> t != task) r.members;
@@ -173,12 +192,17 @@ let migrate cluster (kernel : kernel) ~core (task : K.Task.t) ~dst :
         K.Task.set_state task K.Task.Running;
         Proto_util.kernel_work cluster p.Hw.Params.context_switch;
         let t_sched = Sim.Engine.now eng in
+        sp_end cluster sp_resume;
         let arch_name a = Format.asprintf "%a" pp_arch a in
         trace cluster ~cat:"migrate" "tid %d: k%d(%s) -> k%d(%s)"
           task.K.Task.tid kernel.kid (arch_name kernel.arch) dst
           (arch_name dst_kernel.arch);
         prefetch_working_set cluster dst_kernel task ~core:new_core;
         let t_end = Sim.Engine.now eng in
+        sp_end cluster sp_mig;
+        m_incr cluster ~kernel:kernel.kid "migration.completed";
+        m_observe cluster ~kernel:kernel.kid "migration.total_ns"
+          (float_of_int (Sim.Time.sub t_end t0));
         {
           save_ctx_ns = Sim.Time.sub t_saved t0;
           messaging_ns = Sim.Time.sub t_acked t_saved - import_ns;
@@ -196,12 +220,15 @@ let migrate cluster (kernel : kernel) ~core (task : K.Task.t) ~dst :
            right here instead of wedging the group. The thread keeps its
            core: it was never unassigned. *)
         let t_gave_up = Sim.Engine.now eng in
+        sp_end cluster sp_xfer;
         send_from cluster ~src:kernel.kid ~src_core:core ~dst
           (Migrate_cancel { pid = task.K.Task.tgid; tid = task.K.Task.tid });
         Proto_util.kernel_work cluster (restore_ctx_cost task.K.Task.ctx);
         K.Task.set_state task K.Task.Running;
         Proto_util.kernel_work cluster p.Hw.Params.context_switch;
         let t_end = Sim.Engine.now eng in
+        sp_end cluster sp_mig;
+        m_incr cluster ~kernel:kernel.kid "migration.failed";
         trace cluster ~cat:"migrate"
           "tid %d: k%d -> k%d gave up after retries; falling back to origin"
           task.K.Task.tid kernel.kid dst;

@@ -47,6 +47,7 @@ let latest_version (proc : process) vpn =
     frame, return the content version we had. *)
 let handle_page_pull cluster (kernel : kernel) ~src ~ticket ~pid ~vpn =
   let p = params cluster in
+  m_incr cluster ~kernel:kernel.kid "coherence.pulls";
   Proto_util.kernel_work cluster p.Hw.Params.page_table_walk;
   let version =
     match find_replica kernel pid with
@@ -68,6 +69,7 @@ let handle_page_pull cluster (kernel : kernel) ~src ~ticket ~pid ~vpn =
 let handle_page_invalidate cluster (kernel : kernel) ~src ~pid ~vpn
     ~ack_ticket =
   let p = params cluster in
+  m_incr cluster ~kernel:kernel.kid "coherence.invalidations";
   Proto_util.kernel_work cluster
     (Time.add p.Hw.Params.page_table_walk p.Hw.Params.tlb_flush_local);
   (match find_replica kernel pid with
@@ -85,6 +87,7 @@ let handle_page_invalidate cluster (kernel : kernel) ~src ~pid ~vpn
 let handle_page_downgrade cluster (kernel : kernel) ~src ~pid ~vpn
     ~ack_ticket =
   let p = params cluster in
+  m_incr cluster ~kernel:kernel.kid "coherence.downgrades";
   Proto_util.kernel_work cluster
     (Time.add p.Hw.Params.page_table_walk p.Hw.Params.tlb_flush_local);
   (match find_replica kernel pid with
@@ -98,7 +101,7 @@ let handle_page_downgrade cluster (kernel : kernel) ~src ~pid ~vpn
 
 (* Local (message-free) counterparts of pull/invalidate/downgrade, used
    when the kernel to revoke is the origin itself. *)
-let local_pull cluster (kernel : kernel) ~pid ~vpn =
+let local_revoke cluster (kernel : kernel) ~pid ~vpn =
   let p = params cluster in
   Proto_util.kernel_work cluster
     (Time.add p.Hw.Params.page_table_walk p.Hw.Params.tlb_flush_local);
@@ -115,11 +118,17 @@ let local_pull cluster (kernel : kernel) ~pid ~vpn =
           v
       | None -> 0)
 
+let local_pull cluster (kernel : kernel) ~pid ~vpn =
+  m_incr cluster ~kernel:kernel.kid "coherence.pulls";
+  local_revoke cluster kernel ~pid ~vpn
+
 let local_invalidate cluster (kernel : kernel) ~pid ~vpn =
-  ignore (local_pull cluster kernel ~pid ~vpn)
+  m_incr cluster ~kernel:kernel.kid "coherence.invalidations";
+  ignore (local_revoke cluster kernel ~pid ~vpn)
 
 let local_downgrade cluster (kernel : kernel) ~pid ~vpn =
   let p = params cluster in
+  m_incr cluster ~kernel:kernel.kid "coherence.downgrades";
   Proto_util.kernel_work cluster
     (Time.add p.Hw.Params.page_table_walk p.Hw.Params.tlb_flush_local);
   match find_replica kernel pid with
@@ -136,6 +145,7 @@ let local_downgrade cluster (kernel : kernel) ~pid ~vpn =
     which the randomized coherence tests catch as a dual-writer state. *)
 let origin_service_locked cluster (origin : kernel) (proc : process)
     ~requester ~vpn ~(access : K.Fault.access) : page_grant =
+  m_incr cluster ~kernel:origin.kid "coherence.grants";
   let entry =
         match Hashtbl.find_opt proc.directory vpn with
         | Some e -> e
@@ -287,6 +297,7 @@ let service_fault cluster (kernel : kernel) (r : replica) ~core ~addr ~access
     =
   let vpn = K.Page_table.vpn_of_addr addr in
   let proc = r.proc in
+  m_incr cluster ~kernel:kernel.kid "fault.serviced";
   trace cluster ~cat:"fault" "k%d %s fault pid %d vpn %d" kernel.kid
     (match access with K.Fault.Read -> "read" | K.Fault.Write -> "write")
     proc.pid vpn;

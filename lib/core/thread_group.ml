@@ -96,9 +96,13 @@ let handle_thread_create cluster (kernel : kernel) ~src ~ticket ~pid ~new_tid
 (** Origin-side spawn coordination: allocate the tid and the stack, update
     membership, drive the target, return the tid. *)
 let origin_spawn cluster (origin : kernel) (proc : process) ~target : tid =
+  m_incr cluster ~kernel:target "threads.spawned";
   if target = origin.kid then
     (create_local cluster origin (replica_exn origin proc.pid)).K.Task.tid
   else begin
+    let sp =
+      sp_begin cluster ~kernel:origin.kid Obs.Span.Thread_group_create
+    in
     alloc_stack cluster origin proc;
     let tid = K.Ids.next origin.tid_alloc in
     (* Membership and the optional snapshot are decided under the mm lock,
@@ -120,6 +124,7 @@ let origin_spawn cluster (origin : kernel) (proc : process) ~target : tid =
      with
     | Thread_create_ack _ -> ()
     | _ -> assert false);
+    sp_end cluster sp;
     tid
   end
 
@@ -157,6 +162,7 @@ let exit_thread cluster (kernel : kernel) (task : K.Task.t) =
   Proto_util.kernel_work cluster
     (params cluster).Hw.Params.syscall_overhead;
   K.Task.set_state task (K.Task.Exited 0);
+  m_incr cluster ~kernel:kernel.kid "threads.exited";
   let proc = (replica_exn kernel task.K.Task.tgid).proc in
   Process_model.remove_member_local kernel task;
   if kernel.kid = proc.origin then

@@ -366,6 +366,31 @@ let trace cluster ~cat fmt =
             msg)
         fmt
 
+(** Metric helpers: route to the machine's registry when one is attached
+    ([Cluster.observe]); free no-ops otherwise. *)
+let m_incr cluster ?kernel name = Hw.Machine.metric_incr cluster.machine ?kernel name
+let m_add cluster ?kernel name n = Hw.Machine.metric_add cluster.machine ?kernel name n
+
+let m_observe cluster ?kernel name x =
+  Hw.Machine.metric_observe cluster.machine ?kernel name x
+
+(** Span helpers: open/close a protocol-phase span at the current simulated
+    time when a recorder is attached; [None] (and no cost) otherwise. *)
+let sp_begin cluster ?parent ?tid ~kernel kind =
+  match cluster.machine.Hw.Machine.spans with
+  | None -> None
+  | Some rec_ ->
+      let parent = Option.map (fun (p : Obs.Span.span) -> p.Obs.Span.id) parent in
+      Some
+        (Obs.Span.start rec_ ?parent ?tid ~kernel
+           ~at:(Engine.now cluster.machine.Hw.Machine.eng) kind)
+
+let sp_end cluster sp =
+  match sp with
+  | None -> ()
+  | Some sp ->
+      Obs.Span.finish sp ~at:(Engine.now cluster.machine.Hw.Machine.eng)
+
 let pp_arch fmt = function
   | X86_64 -> Format.pp_print_string fmt "x86_64"
   | Arm64 -> Format.pp_print_string fmt "arm64"

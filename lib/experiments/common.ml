@@ -14,8 +14,22 @@ let total_cores = sockets * cores_per_socket
     x 4 cores. (T1/F4 use smaller explicit configs.) *)
 let default_kernels = 16
 
+(* When set ([set_sink], used by the CLI/bench --json and --trace-out
+   paths), every machine an experiment boots gets the sink's registry and
+   span recorder attached, and Popcorn clusters additionally get the trace
+   ring and per-kernel rpc.* routing. One experiment may boot many machines;
+   they share the sink (the span recorder separates them by run). *)
+let sink : Obs.Sink.t option ref = ref None
+let set_sink s = sink := s
+
 let machine ?(seed = 42) () =
-  Hw.Machine.create ~seed ~sockets ~cores_per_socket ()
+  let m = Hw.Machine.create ~seed ~sockets ~cores_per_socket () in
+  (match !sink with
+  | None -> ()
+  | Some s ->
+      Hw.Machine.attach_obs m ~metrics:s.Obs.Sink.metrics
+        ~spans:s.Obs.Sink.spans ());
+  m
 
 (** Run [f cluster root_thread] as the main thread of a fresh process on a
     fresh Popcorn cluster; returns the simulated duration of [f]. *)
@@ -25,6 +39,13 @@ let run_popcorn ?seed ?opts ?(kernels = default_kernels) f : Time.t =
     Popcorn.Cluster.boot ?opts m ~kernels
       ~cores_per_kernel:(total_cores / kernels)
   in
+  (match !sink with
+  | None -> ()
+  | Some s ->
+      (* The machine already has metrics+spans; route the cluster-level
+         pieces (tracer, per-kernel rpc counters) too. *)
+      Popcorn.Cluster.observe ~metrics:s.Obs.Sink.metrics
+        ~tracer:s.Obs.Sink.trace cluster);
   let eng = m.Hw.Machine.eng in
   let elapsed = ref (-1) in
   Engine.spawn eng (fun () ->

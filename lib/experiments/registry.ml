@@ -70,9 +70,68 @@ let all : t list =
 let find id =
   List.find_opt (fun e -> String.lowercase_ascii e.id = String.lowercase_ascii id) all
 
-let run_one ?quick (e : t) =
-  Printf.printf "\n### %s — %s\n\n%!" e.id e.title;
-  let tables = e.run ?quick () in
-  List.iter (fun t -> print_string (Stats.Table.render t); print_newline ()) tables
+(** Everything one experiment run produced: its tables, the host wall-clock
+    it took, and (when [observe] was on) the observability sink that was
+    live during the run. *)
+type outcome = {
+  spec : t;
+  host_ms : float;
+  tables : Stats.Table.t list;
+  sink : Obs.Sink.t option;
+}
 
-let run_all ?quick () = List.iter (run_one ?quick) all
+let run_one ?quick ?(observe = false) (e : t) : outcome =
+  Printf.printf "\n### %s — %s\n\n%!" e.id e.title;
+  let sink = if observe then Some (Obs.Sink.create ()) else None in
+  Common.set_sink sink;
+  let t0 = Unix.gettimeofday () in
+  let tables = e.run ?quick () in
+  let host_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+  Common.set_sink None;
+  List.iter
+    (fun t ->
+      print_string (Stats.Table.render t);
+      print_newline ())
+    tables;
+  Printf.printf "(%s: %.0f ms host time)\n%!" e.id host_ms;
+  { spec = e; host_ms; tables; sink }
+
+let run_all ?quick ?observe () : outcome list =
+  List.map (run_one ?quick ?observe) all
+
+(* --- machine-readable results (schema documented in EXPERIMENTS.md) --- *)
+
+let table_json (t : Stats.Table.t) =
+  Obs.Json.Obj
+    [
+      ("title", Obs.Json.Str (Stats.Table.title t));
+      ( "columns",
+        Obs.Json.Arr
+          (List.map (fun c -> Obs.Json.Str c) (Stats.Table.columns t)) );
+      ( "rows",
+        Obs.Json.Arr
+          (List.map
+             (fun row -> Obs.Json.Arr (List.map (fun c -> Obs.Json.Str c) row))
+             (Stats.Table.rows t)) );
+    ]
+
+let outcome_json (o : outcome) =
+  Obs.Json.Obj
+    ([
+       ("id", Obs.Json.Str o.spec.id);
+       ("title", Obs.Json.Str o.spec.title);
+       ("host_ms", Obs.Json.Float o.host_ms);
+       ("tables", Obs.Json.Arr (List.map table_json o.tables));
+     ]
+    @
+    match o.sink with
+    | None -> []
+    | Some s -> [ ("metrics", Obs.Metrics.to_json s.Obs.Sink.metrics) ])
+
+let report_json ?(quick = false) (outcomes : outcome list) =
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.Str "popcornsim-bench-v1");
+      ("quick", Obs.Json.Bool quick);
+      ("experiments", Obs.Json.Arr (List.map outcome_json outcomes));
+    ]

@@ -6,6 +6,8 @@ type t = {
   topo : Topology.t;
   mem : Memory.t;
   ipi : Ipi.t;
+  mutable metrics : Obs.Metrics.t option;
+  mutable spans : Obs.Span.t option;
 }
 
 let create ?seed ?(params = Params.default) ?(frames_per_socket = 65536)
@@ -14,7 +16,29 @@ let create ?seed ?(params = Params.default) ?(frames_per_socket = 65536)
   let topo = Topology.create ~sockets ~cores_per_socket in
   let mem = Memory.create topo ~frames_per_socket in
   let ipi = Ipi.create eng params topo in
-  { eng; params; topo; mem; ipi }
+  { eng; params; topo; mem; ipi; metrics = None; spans = None }
+
+let attach_obs t ?metrics ?spans () =
+  (match metrics with Some _ -> t.metrics <- metrics | None -> ());
+  match spans with
+  | Some r ->
+      Obs.Span.new_run r;
+      t.spans <- spans
+  | None -> ()
+
+(* Instrumentation helpers: single option check when observability is off,
+   and never sleeping or touching the RNG, so simulated behaviour is
+   unchanged either way. *)
+let metric_incr t ?kernel name =
+  match t.metrics with None -> () | Some m -> Obs.Metrics.incr m ?kernel name
+
+let metric_add t ?kernel name n =
+  match t.metrics with None -> () | Some m -> Obs.Metrics.add m ?kernel name n
+
+let metric_observe t ?kernel name x =
+  match t.metrics with
+  | None -> ()
+  | Some m -> Obs.Metrics.observe m ?kernel name x
 
 let now t = Engine.now t.eng
 

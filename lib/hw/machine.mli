@@ -10,6 +10,8 @@ type t = {
   topo : Topology.t;
   mem : Memory.t;
   ipi : Ipi.t;
+  mutable metrics : Obs.Metrics.t option;
+  mutable spans : Obs.Span.t option;
 }
 
 val create :
@@ -22,6 +24,18 @@ val create :
   t
 (** Build a machine with a fresh engine. [frames_per_socket] defaults to
     65536 (256 MiB of 4 KiB pages per socket). *)
+
+val attach_obs : t -> ?metrics:Obs.Metrics.t -> ?spans:Obs.Span.t -> unit -> unit
+(** Attach observability to this machine. The messaging layer and OS models
+    consult [metrics]/[spans] on their hot paths; with nothing attached the
+    cost is one [option] check and simulated results are bit-identical.
+    Attaching [spans] also opens a new run in the recorder so repeated boots
+    export to distinct trace tracks. *)
+
+val metric_incr : t -> ?kernel:int -> string -> unit
+val metric_add : t -> ?kernel:int -> string -> int -> unit
+val metric_observe : t -> ?kernel:int -> string -> float -> unit
+(** No-ops when no metrics registry is attached. *)
 
 val now : t -> Time.t
 val compute : t -> Time.t -> unit

@@ -35,6 +35,8 @@ type 'r t = {
   mutable rt_retried : int;
   mutable rt_recovered : int;
   mutable rt_gave_up : int;
+  mutable obs : (Obs.Metrics.t * int) option;
+      (** registry + kernel scope for rpc.* metrics. *)
 }
 
 let create eng =
@@ -46,7 +48,15 @@ let create eng =
     rt_retried = 0;
     rt_recovered = 0;
     rt_gave_up = 0;
+    obs = None;
   }
+
+let set_metrics t reg ~kernel = t.obs <- Some (reg, kernel)
+
+let obs_incr t name =
+  match t.obs with
+  | None -> ()
+  | Some (reg, kernel) -> Obs.Metrics.incr reg ~kernel name
 
 let fresh t =
   let ticket = t.next_ticket in
@@ -59,6 +69,7 @@ let register t callback =
   ticket
 
 let call t send =
+  obs_incr t "rpc.calls";
   let cell = ref Unresolved in
   let ticket =
     register t (fun r ->
@@ -109,16 +120,22 @@ let call_retry t ?(policy = default_retry) send =
   assert (policy.max_tries >= 1);
   assert (policy.base_timeout > 0);
   t.rt_calls <- t.rt_calls + 1;
+  obs_incr t "rpc.calls";
   let rec attempt i ~timeout =
     match call_timeout t ~timeout (fun ticket -> send ~attempt:i ticket) with
     | Some r ->
-        if i > 1 then t.rt_recovered <- t.rt_recovered + 1;
+        if i > 1 then begin
+          t.rt_recovered <- t.rt_recovered + 1;
+          obs_incr t "rpc.recovered"
+        end;
         Some r
     | None when i >= policy.max_tries ->
         t.rt_gave_up <- t.rt_gave_up + 1;
+        obs_incr t "rpc.gave_up";
         None
     | None ->
         t.rt_retried <- t.rt_retried + 1;
+        obs_incr t "rpc.retried";
         attempt (i + 1)
           ~timeout:
             (Time.min

@@ -21,6 +21,10 @@ type 'r t
 
 val create : Engine.t -> 'r t
 
+val set_metrics : 'r t -> Obs.Metrics.t -> kernel:int -> unit
+(** Route this table's rpc.* counters (calls/retried/recovered/gave_up) to a
+    metrics registry, scoped to [kernel]. No-op cost when never called. *)
+
 val register : 'r t -> ('r -> unit) -> int
 (** Allocate a ticket whose completion runs the callback instead of waking a
     parked fiber — the building block for parallel broadcasts where one

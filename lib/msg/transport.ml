@@ -149,13 +149,17 @@ let worker_loop t ep =
     in
     if pkt.seq <= last then begin
       t.st_dup_suppressed <- t.st_dup_suppressed + 1;
+      Hw.Machine.metric_incr m ~kernel:ep.node "msg.dup_suppressed";
       loop ()
     end
     else begin
       Hashtbl.replace ep.last_seq pkt.src pkt.seq;
       t.st_delivered <- t.st_delivered + 1;
-      t.st_latency <-
-        Time.add t.st_latency (Time.sub (Engine.now eng) pkt.enqueued_at);
+      let latency = Time.sub (Engine.now eng) pkt.enqueued_at in
+      t.st_latency <- Time.add t.st_latency latency;
+      Hw.Machine.metric_incr m ~kernel:ep.node "msg.delivered";
+      Hw.Machine.metric_observe m ~kernel:ep.node "msg.latency_ns"
+        (float_of_int latency);
       let src = pkt.src and payload = pkt.payload in
       (* Fresh fiber per message: handlers may block on nested RPCs. *)
       Engine.spawn eng ~name:(Printf.sprintf "msg-handler-n%d" ep.node)
@@ -195,6 +199,7 @@ let enqueue t ep ~src ~src_core ~bytes ~seq ~extra_delay payload =
   let doorbell =
     if was_idle then begin
       t.st_doorbells <- t.st_doorbells + 1;
+      Hw.Machine.metric_incr m ~kernel:ep.node "msg.doorbells";
       let latency =
         Hw.Ipi.delivery_latency m.Hw.Machine.ipi ~src:src_core ~dst:ep.core
       in
@@ -207,6 +212,7 @@ let enqueue t ep ~src ~src_core ~bytes ~seq ~extra_delay payload =
               (* Doorbell lost: the worker only notices the ring write at
                  its next recovery poll. *)
               t.st_doorbells_lost <- t.st_doorbells_lost + 1;
+              Hw.Machine.metric_incr m ~kernel:ep.node "msg.doorbells_lost";
               recovery)
     end
     else Time.zero
@@ -237,6 +243,8 @@ let send_from_core t ~src ~src_core ~dst ~bytes payload =
   let copy = Hw.Params.copy_cost m.Hw.Machine.params ~bytes ~cross_socket:cross in
   Engine.sleep eng (Time.add reserve copy);
   t.st_sent <- t.st_sent + 1;
+  Hw.Machine.metric_incr m ~kernel:src "msg.sent";
+  Hw.Machine.metric_add m ~kernel:src "msg.bytes" bytes;
   let seq = next_seq t ~src ~dst in
   let action =
     match t.hooks with
@@ -247,12 +255,14 @@ let send_from_core t ~src ~src_core ~dst ~bytes payload =
   | Drop ->
       (* The sender paid the full send cost, but the message never makes it
          out of the ring (modelling a corrupted/lost slot). *)
-      t.st_dropped <- t.st_dropped + 1
+      t.st_dropped <- t.st_dropped + 1;
+      Hw.Machine.metric_incr m ~kernel:src "msg.dropped"
   | Pass | Duplicate | Delay _ ->
       let extra_delay = match action with Delay d -> d | _ -> Time.zero in
       enqueue t ep ~src ~src_core ~bytes ~seq ~extra_delay payload;
       if action = Duplicate then begin
         t.st_duplicated <- t.st_duplicated + 1;
+        Hw.Machine.metric_incr m ~kernel:src "msg.duplicated";
         enqueue t ep ~src ~src_core ~bytes ~seq ~extra_delay payload
       end
 

@@ -126,6 +126,8 @@ let make_dispatcher dom core =
 
 (** Start a domain with its first dispatcher on [core]. *)
 let start_domain t ~core main : domain =
+  Hw.Machine.metric_incr t.machine "mk.domains";
+  Hw.Machine.metric_incr t.machine ~kernel:core "mk.dispatchers";
   let id = t.next_domain in
   t.next_domain <- id + 1;
   let dom = { sys = t; id; dispatchers = 1; exit_waiters = Waitq.create () } in
@@ -145,6 +147,7 @@ let start_domain t ~core main : domain =
     remote thread creation. *)
 let spawn_dispatcher (d : dispatcher) ~core body : unit =
   let t = d.dom.sys in
+  Hw.Machine.metric_incr t.machine ~kernel:core "mk.dispatchers";
   Engine.sleep (eng t) syscall_cost;
   (match
      Msg.Rpc.call t.rpc.(d.core) (fun ticket ->
@@ -190,6 +193,7 @@ let touch (d : dispatcher) ~addr ~access :
   | K.Fault.Present -> Ok K.Fault.Present
   | K.Fault.Segv -> Error "segmentation fault"
   | (K.Fault.Minor | K.Fault.Cow_or_upgrade) as c ->
+      Hw.Machine.metric_incr t.machine ~kernel:d.core "fault.serviced";
       Engine.sleep (eng t)
         (Time.add p.Hw.Params.page_table_walk
            (Time.add frame_alloc_cost zero_page_cost));

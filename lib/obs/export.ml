@@ -1,0 +1,89 @@
+(* Chrome trace_event ("catapult") JSON, loadable in Perfetto / about:tracing.
+   Simulated time is nanoseconds; trace_event wants microseconds in [ts]/
+   [dur], so we divide by 1e3 and keep the fraction. Tracks: one "process"
+   per (run, kernel) pair so repeated boots sharing a recorder don't overlap,
+   one "thread" row per simulated tid (row 0 for kernel-level spans). *)
+
+let us ns = float_of_int ns /. 1_000.
+
+let pid_of ~run_offset (s : Span.span) = ((run_offset + s.run) * 100) + s.kernel
+
+let span_event ~run_offset (s : Span.span) =
+  let stop = if s.stop < 0 then s.start else s.stop in
+  let args =
+    [ ("span_id", Json.Int s.id); ("kernel", Json.Int s.kernel);
+      ("run", Json.Int s.run) ]
+    @ (match s.parent with
+      | None -> []
+      | Some p -> [ ("parent", Json.Int p) ])
+    @ match s.tid with None -> [] | Some t -> [ ("sim_tid", Json.Int t) ]
+  in
+  Json.Obj
+    [
+      ("name", Json.Str (Span.kind_name s.kind));
+      ("cat", Json.Str "span");
+      ("ph", Json.Str "X");
+      ("ts", Json.Float (us s.start));
+      ("dur", Json.Float (us (stop - s.start)));
+      ("pid", Json.Int (pid_of ~run_offset s));
+      ("tid", Json.Int (match s.tid with None -> 0 | Some t -> t + 1));
+      ("args", Json.Obj args);
+    ]
+
+let process_meta ~pid name =
+  Json.Obj
+    [
+      ("name", Json.Str "process_name");
+      ("ph", Json.Str "M");
+      ("pid", Json.Int pid);
+      ("args", Json.Obj [ ("name", Json.Str name) ]);
+    ]
+
+let trace_event (e : Sim.Trace.event) =
+  Json.Obj
+    [
+      ("name", Json.Str e.msg);
+      ("cat", Json.Str e.cat);
+      ("ph", Json.Str "i");
+      ("s", Json.Str "g");
+      ("ts", Json.Float (us e.at));
+      ("pid", Json.Int 0);
+      ("tid", Json.Int 0);
+    ]
+
+let chrome_trace ?(spans = []) ?(traces = []) () =
+  let events = ref [] in
+  let push e = events := e :: !events in
+  if traces <> [] then push (process_meta ~pid:0 "trace ring");
+  let run_offset = ref 0 in
+  List.iter
+    (fun rec_ ->
+      let seen_pids = Hashtbl.create 8 in
+      List.iter
+        (fun (s : Span.span) ->
+          let pid = pid_of ~run_offset:!run_offset s in
+          if not (Hashtbl.mem seen_pids pid) then begin
+            Hashtbl.add seen_pids pid ();
+            push
+              (process_meta ~pid
+                 (Printf.sprintf "run %d / kernel %d"
+                    (!run_offset + s.run) s.kernel))
+          end;
+          push (span_event ~run_offset:!run_offset s))
+        (Span.spans rec_);
+      (* Reserve this recorder's run range before the next one starts. *)
+      let max_run =
+        List.fold_left
+          (fun m (s : Span.span) -> Stdlib.max m s.run)
+          (-1) (Span.spans rec_)
+      in
+      run_offset := !run_offset + max_run + 1)
+    spans;
+  List.iter
+    (fun tr -> List.iter (fun e -> push (trace_event e)) (Sim.Trace.events tr))
+    traces;
+  Json.Obj
+    [
+      ("traceEvents", Json.Arr (List.rev !events));
+      ("displayTimeUnit", Json.Str "ns");
+    ]

@@ -1,0 +1,10 @@
+(** Exporters for recorded observability data. *)
+
+val chrome_trace :
+  ?spans:Span.t list -> ?traces:Sim.Trace.t list -> unit -> Json.t
+(** Chrome [trace_event] JSON (load in {{:https://ui.perfetto.dev}Perfetto}
+    or [chrome://tracing]). Each span becomes a complete ("X") event on a
+    process track named after its (run, kernel) pair, with simulated
+    nanoseconds mapped to trace microseconds; trace-ring entries become
+    global instant ("i") events on pid 0. When several recorders are passed,
+    their run numbers are offset so tracks never collide. *)

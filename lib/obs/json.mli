@@ -1,0 +1,21 @@
+(** Minimal JSON document model and serialiser.
+
+    The exporters build values of {!t} and render them with {!to_string} /
+    {!to_file}; no external JSON dependency is needed. Strings are escaped
+    per RFC 8259; NaN/infinite floats (which JSON cannot represent) render
+    as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+val to_channel : out_channel -> t -> unit
+
+val to_file : string -> t -> unit
+(** Write the document (plus a trailing newline) to [path], truncating. *)

@@ -1,0 +1,137 @@
+(* Cells are keyed by (name, kernel scope). A Hashtbl gives O(1) updates on
+   the hot paths; all read-out goes through [rows], which sorts, so consumers
+   see one deterministic order regardless of update interleaving. *)
+
+type cell =
+  | CCounter of int ref
+  | CGauge of float ref
+  | CHist of Stats.Histogram.t
+
+type t = { cells : (string * int option, cell) Hashtbl.t }
+
+type view =
+  | Counter of int
+  | Gauge of float
+  | Hist of { count : int; mean : float; p50 : float; p99 : float; max : float }
+
+let create () = { cells = Hashtbl.create 64 }
+
+let kind_name = function
+  | CCounter _ -> "counter"
+  | CGauge _ -> "gauge"
+  | CHist _ -> "histogram"
+
+let cell t ~kernel name make =
+  let key = (name, kernel) in
+  match Hashtbl.find_opt t.cells key with
+  | Some c -> c
+  | None ->
+      let c = make () in
+      Hashtbl.add t.cells key c;
+      c
+
+let wrong_kind name c want =
+  invalid_arg
+    (Printf.sprintf "Metrics: %s is a %s, not a %s" name (kind_name c) want)
+
+let add t ?kernel name n =
+  match cell t ~kernel name (fun () -> CCounter (ref 0)) with
+  | CCounter r -> r := !r + n
+  | c -> wrong_kind name c "counter"
+
+let incr t ?kernel name = add t ?kernel name 1
+
+let set_gauge t ?kernel name v =
+  match cell t ~kernel name (fun () -> CGauge (ref 0.)) with
+  | CGauge r -> r := v
+  | c -> wrong_kind name c "gauge"
+
+let observe t ?kernel name x =
+  match cell t ~kernel name (fun () -> CHist (Stats.Histogram.create ())) with
+  | CHist h -> Stats.Histogram.add h x
+  | c -> wrong_kind name c "histogram"
+
+let counter t ?kernel name =
+  match Hashtbl.find_opt t.cells (name, kernel) with
+  | Some (CCounter r) -> !r
+  | Some c -> wrong_kind name c "counter"
+  | None -> 0
+
+let gauge t ?kernel name =
+  match Hashtbl.find_opt t.cells (name, kernel) with
+  | Some (CGauge r) -> !r
+  | Some c -> wrong_kind name c "gauge"
+  | None -> 0.
+
+let view = function
+  | CCounter r -> Counter !r
+  | CGauge r -> Gauge !r
+  | CHist h ->
+      Hist
+        {
+          count = Stats.Histogram.count h;
+          mean = Stats.Histogram.mean h;
+          p50 = Stats.Histogram.median h;
+          p99 = Stats.Histogram.p99 h;
+          max = Stats.Histogram.max h;
+        }
+
+(* (name, kernel) ascending, with the unscoped (global) entry of a name
+   before its per-kernel entries — [None < Some _] under compare. *)
+let rows t =
+  Hashtbl.fold (fun key c acc -> ((key, view c) :: acc)) t.cells []
+  |> List.sort (fun (ka, _) (kb, _) -> compare ka kb)
+
+let to_json t =
+  let scope kernel =
+    match kernel with None -> Json.Null | Some k -> Json.Int k
+  in
+  let entry extra ((name, kernel), _) =
+    Json.Obj (("name", Json.Str name) :: ("kernel", scope kernel) :: extra)
+  in
+  let counters, gauges, hists =
+    List.fold_left
+      (fun (cs, gs, hs) ((_, v) as row) ->
+        match v with
+        | Counter n -> (entry [ ("value", Json.Int n) ] row :: cs, gs, hs)
+        | Gauge x -> (cs, entry [ ("value", Json.Float x) ] row :: gs, hs)
+        | Hist h ->
+            ( cs,
+              gs,
+              entry
+                [
+                  ("count", Json.Int h.count);
+                  ("mean", Json.Float h.mean);
+                  ("p50", Json.Float h.p50);
+                  ("p99", Json.Float h.p99);
+                  ("max", Json.Float h.max);
+                ]
+                row
+              :: hs ))
+      ([], [], []) (rows t)
+  in
+  Json.Obj
+    [
+      ("counters", Json.Arr (List.rev counters));
+      ("gauges", Json.Arr (List.rev gauges));
+      ("histograms", Json.Arr (List.rev hists));
+    ]
+
+let pp fmt t =
+  List.iter
+    (fun ((name, kernel), v) ->
+      let scope =
+        match kernel with
+        | None -> "-"
+        | Some k -> Printf.sprintf "k%d" k
+      in
+      let value =
+        match v with
+        | Counter n -> string_of_int n
+        | Gauge x -> Printf.sprintf "%.2f" x
+        | Hist h ->
+            Printf.sprintf "n=%d mean=%.0f p50=%.0f p99=%.0f max=%.0f"
+              h.count h.mean h.p50 h.p99 h.max
+      in
+      Format.fprintf fmt "%-28s %-5s %s@\n" name scope value)
+    (rows t)

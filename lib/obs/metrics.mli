@@ -1,0 +1,51 @@
+(** Metrics registry: named counters, gauges and latency histograms, each
+    either global or scoped to one kernel.
+
+    A registry is attached to a machine ([Hw.Machine.attach_obs]); the
+    messaging layer and the OS models bump metrics only when one is
+    attached, so runs without observability pay a single [option] check per
+    event and produce bit-identical simulated results. Updates are O(1);
+    all read-out ({!rows}, {!to_json}, {!pp}) is sorted by (name, kernel),
+    so the output order is deterministic regardless of the order in which
+    metrics were first touched. *)
+
+type t
+
+(** Read-only snapshot of one metric. *)
+type view =
+  | Counter of int
+  | Gauge of float
+  | Hist of { count : int; mean : float; p50 : float; p99 : float; max : float }
+
+val create : unit -> t
+
+val incr : t -> ?kernel:int -> string -> unit
+(** Add 1 to a counter (created on first use). *)
+
+val add : t -> ?kernel:int -> string -> int -> unit
+(** Add [n] to a counter. *)
+
+val set_gauge : t -> ?kernel:int -> string -> float -> unit
+(** Set a gauge to its latest value. *)
+
+val observe : t -> ?kernel:int -> string -> float -> unit
+(** Record one observation in a log-bucketed histogram
+    ({!Stats.Histogram}). *)
+
+val counter : t -> ?kernel:int -> string -> int
+(** Current value; 0 if the counter was never touched. Raises
+    [Invalid_argument] if the name is registered as a different kind. *)
+
+val gauge : t -> ?kernel:int -> string -> float
+
+val rows : t -> ((string * int option) * view) list
+(** Every metric, sorted by (name, kernel); the global scope of a name
+    sorts before its per-kernel scopes. *)
+
+val to_json : t -> Json.t
+(** [{"counters":[{"name","kernel","value"}...], "gauges":[...],
+    "histograms":[{"name","kernel","count","mean","p50","p99","max"}...]}]
+    with entries in {!rows} order; [kernel] is null for global metrics. *)
+
+val pp : Format.formatter -> t -> unit
+(** One aligned line per metric, in {!rows} order. *)

@@ -1,0 +1,14 @@
+type t = {
+  metrics : Metrics.t;
+  spans : Span.t;
+  trace : Sim.Trace.t;
+}
+
+let create ?(trace_capacity = 4096) () =
+  {
+    metrics = Metrics.create ();
+    spans = Span.create ();
+    trace = Sim.Trace.create ~capacity:trace_capacity ();
+  }
+
+let chrome_trace t = Export.chrome_trace ~spans:[ t.spans ] ~traces:[ t.trace ] ()

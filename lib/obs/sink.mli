@@ -1,0 +1,15 @@
+(** A sink bundles one of everything the instrumentation can feed: a metrics
+    registry, a span recorder and a bounded trace ring. Create one, attach it
+    to a machine or cluster, run, then export. *)
+
+type t = {
+  metrics : Metrics.t;
+  spans : Span.t;
+  trace : Sim.Trace.t;
+}
+
+val create : ?trace_capacity:int -> unit -> t
+(** [trace_capacity] bounds the event ring (default 4096). *)
+
+val chrome_trace : t -> Json.t
+(** {!Export.chrome_trace} over this sink's spans and trace ring. *)

@@ -1,0 +1,61 @@
+type kind =
+  | Migration
+  | Context_capture
+  | Transfer
+  | Import
+  | Resume
+  | Thread_group_create
+  | Page_fault
+  | Futex
+  | Custom of string
+
+let kind_name = function
+  | Migration -> "migration"
+  | Context_capture -> "context_capture"
+  | Transfer -> "transfer"
+  | Import -> "import"
+  | Resume -> "resume"
+  | Thread_group_create -> "thread_group_create"
+  | Page_fault -> "page_fault"
+  | Futex -> "futex"
+  | Custom s -> s
+
+type span = {
+  id : int;
+  parent : int option;
+  kind : kind;
+  kernel : int;
+  tid : int option;
+  run : int;
+  start : Sim.Time.t;
+  mutable stop : Sim.Time.t; (* -1 while open *)
+}
+
+type t = {
+  mutable next_id : int;
+  mutable run : int; (* bumped per machine boot so tracks don't collide *)
+  mutable acc : span list; (* newest first; [spans] reverses *)
+}
+
+let create () = { next_id = 0; run = -1; acc = [] }
+let new_run t = t.run <- t.run + 1
+
+let start t ?parent ?tid ~kernel ~at kind =
+  let s =
+    {
+      id = t.next_id;
+      parent;
+      kind;
+      kernel;
+      tid;
+      run = Stdlib.max 0 t.run;
+      start = at;
+      stop = -1;
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  t.acc <- s :: t.acc;
+  s
+
+let finish s ~at = s.stop <- at
+let spans t = List.rev t.acc

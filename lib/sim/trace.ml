@@ -16,9 +16,14 @@ let emit t ~at ~cat msg =
   t.next <- (t.next + 1) mod t.capacity;
   t.total <- t.total + 1
 
-let events ?cat t =
+let events ?cat ?prefix t =
   (* Oldest first: the slot at [next] is the oldest retained event. *)
-  let keep e = match cat with Some c -> e.cat = c | None -> true in
+  let keep e =
+    (match cat with Some c -> e.cat = c | None -> true)
+    && match prefix with
+       | Some p -> String.starts_with ~prefix:p e.cat
+       | None -> true
+  in
   let out = ref [] in
   for i = 0 to t.capacity - 1 do
     match t.ring.((t.next + i) mod t.capacity) with

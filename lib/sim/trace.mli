@@ -16,8 +16,9 @@ val create : ?capacity:int -> unit -> t
 
 val emit : t -> at:Time.t -> cat:string -> string -> unit
 
-val events : ?cat:string -> t -> event list
-(** Chronological; [cat] filters by exact category. *)
+val events : ?cat:string -> ?prefix:string -> t -> event list
+(** Chronological; [cat] filters by exact category, [prefix] by category
+    prefix (both filters apply when both are given). *)
 
 val count : t -> int
 (** Events currently retained (≤ capacity). *)

@@ -145,6 +145,7 @@ let stack_len = 16 * 4096
     clone(CLONE_VM|CLONE_THREAD) — global task list insertion under the
     tasklist lock plus an atomic on the shared mm counters. *)
 let clone t (proc : process) ~core : K.Task.t =
+  Hw.Machine.metric_incr t.machine "threads.spawned";
   syscall t;
   Rwsem.with_write proc.mmap_sem ~core (fun () ->
       Engine.sleep (eng t) vma_op_cost;
@@ -167,6 +168,7 @@ let clone t (proc : process) ~core : K.Task.t =
   task
 
 let exit_thread t (proc : process) (task : K.Task.t) =
+  Hw.Machine.metric_incr t.machine "threads.exited";
   syscall t;
   let core = match task.K.Task.core with Some c -> c | None -> 0 in
   Hw.Cacheline.access proc.mm_line ~core;
@@ -183,6 +185,7 @@ let exit_thread t (proc : process) (task : K.Task.t) =
     global task-list lock and reads the parent's layout under its
     mmap_sem. *)
 let fork t (parent : process) ~core : process * K.Task.t =
+  Hw.Machine.metric_incr t.machine "process.forks";
   syscall t;
   Engine.sleep (eng t) (Time.us 4);
   let layout =
@@ -307,6 +310,7 @@ let touch t (proc : process) ~core ~addr ~access :
   | K.Fault.Present -> Ok K.Fault.Present
   | K.Fault.Segv -> Error "segmentation fault"
   | (K.Fault.Minor | K.Fault.Cow_or_upgrade) as c ->
+      Hw.Machine.metric_incr t.machine "fault.serviced";
       Engine.sleep (eng t) p.Hw.Params.page_table_walk;
       Rwsem.with_read proc.mmap_sem ~core (fun () ->
           let vpn = K.Page_table.vpn_of_addr addr in
@@ -344,6 +348,7 @@ let read t (proc : process) ~core ~addr =
 type wait_result = Woken | Timed_out
 
 let futex_wait t (_proc : process) ~core ?timeout () ~addr : wait_result =
+  Hw.Machine.metric_incr t.machine "futex.waits";
   syscall t;
   Hw.Spinlock.with_lock (bucket t addr) ~core (fun () ->
       Engine.sleep (eng t) futex_op_cost);
@@ -352,6 +357,7 @@ let futex_wait t (_proc : process) ~core ?timeout () ~addr : wait_result =
   | K.Futex.Timed_out -> Timed_out
 
 let futex_wake t (_proc : process) ~core ~addr ~count : int =
+  Hw.Machine.metric_incr t.machine "futex.wakes";
   syscall t;
   Hw.Spinlock.with_lock (bucket t addr) ~core (fun () ->
       Engine.sleep (eng t) futex_op_cost);

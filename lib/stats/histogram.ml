@@ -30,6 +30,7 @@ let add t x =
   if x > t.mx then t.mx <- x
 
 let count t = t.n
+let max t = t.mx
 
 let percentile t p =
   assert (p >= 0. && p <= 100.);

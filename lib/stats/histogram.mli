@@ -13,6 +13,9 @@ val add : t -> float -> unit
 
 val count : t -> int
 
+val max : t -> float
+(** Largest observation so far; 0. when empty. *)
+
 val percentile : t -> float -> float
 (** [percentile t p] for [p] in [\[0,100\]]; 0. when empty. Returns the
     representative value of the bucket containing the p-th sample. *)

@@ -11,6 +11,10 @@ let add_row t row =
     invalid_arg "Table.add_row: column count mismatch";
   t.rows <- row :: t.rows
 
+let title t = t.title
+let columns t = t.columns
+let rows t = List.rev t.rows
+
 let render t =
   let rows = List.rev t.rows in
   let all = t.columns :: rows in

@@ -8,6 +8,12 @@ val create : title:string -> columns:string list -> t
 val add_row : t -> string list -> unit
 (** Must match the column count. *)
 
+val title : t -> string
+val columns : t -> string list
+
+val rows : t -> string list list
+(** Rows in insertion order. *)
+
 val render : t -> string
 (** Boxed, aligned table with the title on top. *)
 

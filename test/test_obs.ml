@@ -1,0 +1,302 @@
+(* Tests for the observability layer (lib/obs): metrics registry
+   determinism, span nesting, exporters, and the guarantee that
+   instrumentation never perturbs simulated time. *)
+
+(* --- metrics registry --- *)
+
+let test_metrics_basics () =
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.incr m "a";
+  Obs.Metrics.incr m "a";
+  Obs.Metrics.add m "a" 3;
+  Obs.Metrics.incr m ~kernel:1 "a";
+  Alcotest.(check int) "global counter" 5 (Obs.Metrics.counter m "a");
+  Alcotest.(check int) "kernel counter" 1 (Obs.Metrics.counter m ~kernel:1 "a");
+  Alcotest.(check int) "untouched counter" 0 (Obs.Metrics.counter m "nope");
+  Obs.Metrics.set_gauge m "g" 1.5;
+  Obs.Metrics.set_gauge m "g" 2.5;
+  Alcotest.(check (float 1e-9)) "gauge latest wins" 2.5 (Obs.Metrics.gauge m "g");
+  Obs.Metrics.observe m "h" 10.;
+  Obs.Metrics.observe m "h" 20.;
+  (match List.assoc ("h", None) (Obs.Metrics.rows m) with
+  | Obs.Metrics.Hist { count; mean; max; _ } ->
+      Alcotest.(check int) "hist count" 2 count;
+      Alcotest.(check (float 1e-9)) "hist mean" 15. mean;
+      Alcotest.(check (float 1e-9)) "hist max" 20. max
+  | _ -> Alcotest.fail "expected a histogram view");
+  (* A name registered as one kind cannot be read as another. *)
+  Alcotest.(check bool) "wrong kind raises" true
+    (try
+       ignore (Obs.Metrics.counter m "g");
+       false
+     with Invalid_argument _ -> true)
+
+let test_metrics_rows_deterministic () =
+  (* Same metrics touched in two different orders: rows and JSON must be
+     identical (sorted by (name, kernel), global scope first). *)
+  let touch m order =
+    List.iter
+      (fun (name, kernel) ->
+        match kernel with
+        | None -> Obs.Metrics.incr m name
+        | Some k -> Obs.Metrics.incr m ~kernel:k name)
+      order
+  in
+  let keys =
+    [ ("b", Some 2); ("a", None); ("b", None); ("a", Some 1); ("b", Some 0) ]
+  in
+  let m1 = Obs.Metrics.create () in
+  touch m1 keys;
+  let m2 = Obs.Metrics.create () in
+  touch m2 (List.rev keys);
+  let key_list m = List.map fst (Obs.Metrics.rows m) in
+  Alcotest.(check (list (pair string (option int))))
+    "sorted, global first"
+    [ ("a", None); ("a", Some 1); ("b", None); ("b", Some 0); ("b", Some 2) ]
+    (key_list m1);
+  Alcotest.(check string) "identical JSON regardless of touch order"
+    (Obs.Json.to_string (Obs.Metrics.to_json m1))
+    (Obs.Json.to_string (Obs.Metrics.to_json m2))
+
+(* --- JSON serialiser --- *)
+
+let test_json () =
+  Alcotest.(check string) "escaping" {|{"k":"a\"b\\c\nd"}|}
+    (Obs.Json.to_string (Obs.Json.Obj [ ("k", Obs.Json.Str "a\"b\\c\nd") ]));
+  Alcotest.(check string) "nan is null" "[null,null]"
+    (Obs.Json.to_string
+       (Obs.Json.Arr [ Obs.Json.Float Float.nan; Obs.Json.Float infinity ]));
+  Alcotest.(check string) "integral float has no exponent" "2000"
+    (Obs.Json.to_string (Obs.Json.Float 2e3));
+  Alcotest.(check string) "nested" {|{"a":[1,true,"x"],"b":null}|}
+    (Obs.Json.to_string
+       (Obs.Json.Obj
+          [
+            ( "a",
+              Obs.Json.Arr
+                [ Obs.Json.Int 1; Obs.Json.Bool true; Obs.Json.Str "x" ] );
+            ("b", Obs.Json.Null);
+          ]))
+
+(* --- span recorder --- *)
+
+let test_span_nesting () =
+  let rec_ = Obs.Span.create () in
+  Obs.Span.new_run rec_;
+  let mig = Obs.Span.start rec_ ~tid:7 ~kernel:0 ~at:100 Obs.Span.Migration in
+  let cap =
+    Obs.Span.start rec_ ~parent:mig.Obs.Span.id ~kernel:0 ~at:100
+      Obs.Span.Context_capture
+  in
+  Obs.Span.finish cap ~at:150;
+  let xfer =
+    Obs.Span.start rec_ ~parent:mig.Obs.Span.id ~kernel:0 ~at:150
+      Obs.Span.Transfer
+  in
+  Obs.Span.finish xfer ~at:400;
+  Obs.Span.finish mig ~at:500;
+  match Obs.Span.spans rec_ with
+  | [ s_mig; s_cap; s_xfer ] ->
+      Alcotest.(check bool) "creation order" true
+        (s_mig.Obs.Span.id < s_cap.Obs.Span.id
+        && s_cap.Obs.Span.id < s_xfer.Obs.Span.id);
+      Alcotest.(check (option int)) "root has no parent" None s_mig.Obs.Span.parent;
+      Alcotest.(check (option int)) "capture nests under migration"
+        (Some s_mig.Obs.Span.id) s_cap.Obs.Span.parent;
+      Alcotest.(check (option int)) "transfer nests under migration"
+        (Some s_mig.Obs.Span.id) s_xfer.Obs.Span.parent;
+      Alcotest.(check int) "closed at finish time" 500 s_mig.Obs.Span.stop;
+      Alcotest.(check (option int)) "tid recorded" (Some 7) s_mig.Obs.Span.tid;
+      Alcotest.(check int) "run stamped" 0 s_mig.Obs.Span.run;
+      Alcotest.(check string) "kind name" "migration"
+        (Obs.Span.kind_name s_mig.Obs.Span.kind)
+  | spans ->
+      Alcotest.failf "expected 3 spans, got %d" (List.length spans)
+
+(* --- end-to-end: an instrumented migration workload --- *)
+
+(* Two threads, each migrating once between two kernels; mirrors the
+   `popcornsim metrics demo` shape at a smaller scale. Returns final
+   simulated time. *)
+let run_workload ?sink ~seed () =
+  let machine = Hw.Machine.create ~seed ~sockets:1 ~cores_per_socket:4 () in
+  let cluster = Popcorn.Cluster.boot machine ~kernels:2 ~cores_per_kernel:2 in
+  (match sink with
+  | None -> ()
+  | Some (s : Obs.Sink.t) ->
+      Hw.Machine.attach_obs machine ~metrics:s.Obs.Sink.metrics
+        ~spans:s.Obs.Sink.spans ();
+      Popcorn.Cluster.observe ~metrics:s.Obs.Sink.metrics
+        ~tracer:s.Obs.Sink.trace cluster);
+  let eng = machine.Hw.Machine.eng in
+  Sim.Engine.spawn eng (fun () ->
+      let proc =
+        Popcorn.Api.start_process cluster ~origin:0 (fun th ->
+            let latch = Workloads.Latch.create eng 2 in
+            for i = 0 to 1 do
+              ignore
+                (Popcorn.Api.spawn th ~target:(i mod 2) (fun worker ->
+                     Popcorn.Api.compute worker (Sim.Time.us 20);
+                     ignore (Popcorn.Api.migrate worker ~dst:((i + 1) mod 2));
+                     Popcorn.Api.compute worker (Sim.Time.us 20);
+                     Workloads.Latch.arrive latch))
+            done;
+            Workloads.Latch.wait latch)
+      in
+      Popcorn.Api.wait_exit cluster proc);
+  Sim.Engine.run eng;
+  Sim.Engine.now eng
+
+let sum_counter reg name =
+  List.fold_left
+    (fun acc ((n, _), view) ->
+      match view with
+      | Obs.Metrics.Counter v when n = name -> acc + v
+      | _ -> acc)
+    0 (Obs.Metrics.rows reg)
+
+let test_migration_metrics () =
+  let sink = Obs.Sink.create () in
+  ignore (run_workload ~sink ~seed:42 ());
+  let reg = sink.Obs.Sink.metrics in
+  Alcotest.(check int) "migrations started" 2 (sum_counter reg "migration.started");
+  Alcotest.(check int) "migrations completed" 2
+    (sum_counter reg "migration.completed");
+  Alcotest.(check int) "none failed" 0 (sum_counter reg "migration.failed");
+  Alcotest.(check int) "imports mirror migrations" 2
+    (sum_counter reg "migration.imported");
+  Alcotest.(check int) "threads spawned" 2 (sum_counter reg "threads.spawned");
+  Alcotest.(check bool) "messages flowed" true (sum_counter reg "msg.sent" > 0)
+
+let test_migration_spans_nested () =
+  let sink = Obs.Sink.create () in
+  ignore (run_workload ~sink ~seed:42 ());
+  let spans = Obs.Span.spans sink.Obs.Sink.spans in
+  let of_kind k =
+    List.filter (fun (s : Obs.Span.span) -> s.Obs.Span.kind = k) spans
+  in
+  let migs = of_kind Obs.Span.Migration in
+  Alcotest.(check int) "one migration span per migrate" 2 (List.length migs);
+  let mig_ids = List.map (fun (s : Obs.Span.span) -> s.Obs.Span.id) migs in
+  List.iter
+    (fun kind ->
+      let children = of_kind kind in
+      Alcotest.(check int)
+        (Obs.Span.kind_name kind ^ " count")
+        2 (List.length children);
+      List.iter
+        (fun (c : Obs.Span.span) ->
+          match c.Obs.Span.parent with
+          | Some p when List.mem p mig_ids -> ()
+          | _ ->
+              Alcotest.failf "%s span not nested under a migration"
+                (Obs.Span.kind_name kind))
+        children)
+    [ Obs.Span.Context_capture; Obs.Span.Transfer; Obs.Span.Resume ];
+  (* Import runs on the destination; it is a top-level span there. *)
+  Alcotest.(check int) "imports" 2 (List.length (of_kind Obs.Span.Import));
+  List.iter
+    (fun (s : Obs.Span.span) ->
+      Alcotest.(check bool) "span closed" true (s.Obs.Span.stop >= s.Obs.Span.start))
+    spans
+
+let test_observation_is_pure () =
+  (* Attaching the full sink must not move simulated time: identical final
+     clock with and without instrumentation. *)
+  let bare = run_workload ~seed:42 () in
+  let observed = run_workload ~sink:(Obs.Sink.create ()) ~seed:42 () in
+  Alcotest.(check int) "identical simulated time" bare observed
+
+let test_metrics_deterministic_across_runs () =
+  (* Same seed, two separate runs: byte-identical metrics JSON. *)
+  let once () =
+    let sink = Obs.Sink.create () in
+    ignore (run_workload ~sink ~seed:7 ());
+    Obs.Json.to_string (Obs.Metrics.to_json sink.Obs.Sink.metrics)
+  in
+  Alcotest.(check string) "metrics JSON reproducible" (once ()) (once ())
+
+(* --- Chrome trace export --- *)
+
+let test_chrome_trace_export () =
+  let sink = Obs.Sink.create () in
+  ignore (run_workload ~sink ~seed:42 ());
+  match Obs.Sink.chrome_trace sink with
+  | Obs.Json.Obj fields ->
+      Alcotest.(check (option string)) "displayTimeUnit"
+        (Some "ns")
+        (match List.assoc_opt "displayTimeUnit" fields with
+        | Some (Obs.Json.Str s) -> Some s
+        | _ -> None);
+      let events =
+        match List.assoc_opt "traceEvents" fields with
+        | Some (Obs.Json.Arr evs) -> evs
+        | _ -> Alcotest.fail "traceEvents must be an array"
+      in
+      let phase ev =
+        match ev with
+        | Obs.Json.Obj f -> (
+            match List.assoc_opt "ph" f with
+            | Some (Obs.Json.Str p) -> p
+            | _ -> "?")
+        | _ -> "?"
+      in
+      let complete = List.filter (fun e -> phase e = "X") events in
+      let spans = Obs.Span.spans sink.Obs.Sink.spans in
+      Alcotest.(check int) "one X event per span" (List.length spans)
+        (List.length complete);
+      Alcotest.(check bool) "process metadata present" true
+        (List.exists (fun e -> phase e = "M") events);
+      (* Every X event carries the required trace_event fields. *)
+      List.iter
+        (fun ev ->
+          match ev with
+          | Obs.Json.Obj f ->
+              List.iter
+                (fun key ->
+                  Alcotest.(check bool) (key ^ " present") true
+                    (List.mem_assoc key f))
+                [ "name"; "pid"; "tid"; "ts"; "dur" ]
+          | _ -> Alcotest.fail "event must be an object")
+        complete
+  | _ -> Alcotest.fail "chrome trace must be a JSON object"
+
+let test_multi_run_tracks () =
+  (* One recorder shared by two boots (as `--json` over a sweep does):
+     runs must export to disjoint pid ranges. *)
+  let sink = Obs.Sink.create () in
+  ignore (run_workload ~sink ~seed:3 ());
+  ignore (run_workload ~sink ~seed:3 ());
+  let spans = Obs.Span.spans sink.Obs.Sink.spans in
+  let runs =
+    List.sort_uniq compare (List.map (fun (s : Obs.Span.span) -> s.Obs.Span.run) spans)
+  in
+  Alcotest.(check (list int)) "two distinct runs" [ 0; 1 ] runs
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "basics" `Quick test_metrics_basics;
+          Alcotest.test_case "deterministic rows" `Quick
+            test_metrics_rows_deterministic;
+        ] );
+      ("json", [ Alcotest.test_case "serialiser" `Quick test_json ]);
+      ("spans", [ Alcotest.test_case "nesting" `Quick test_span_nesting ]);
+      ( "end-to-end",
+        [
+          Alcotest.test_case "migration metrics" `Quick test_migration_metrics;
+          Alcotest.test_case "migration spans nest" `Quick
+            test_migration_spans_nested;
+          Alcotest.test_case "observation is pure" `Quick
+            test_observation_is_pure;
+          Alcotest.test_case "deterministic across runs" `Quick
+            test_metrics_deterministic_across_runs;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "chrome trace" `Quick test_chrome_trace_export;
+          Alcotest.test_case "multi-run tracks" `Quick test_multi_run_tracks;
+        ] );
+    ]

@@ -298,6 +298,28 @@ let test_trace_ring () =
   Trace.clear tr;
   Alcotest.(check int) "cleared" 0 (Trace.count tr)
 
+let test_trace_prefix () =
+  let tr = Trace.create () in
+  Trace.emit tr ~at:10 ~cat:"migration.save" "a";
+  Trace.emit tr ~at:20 ~cat:"migration.send" "b";
+  Trace.emit tr ~at:30 ~cat:"futex.wait" "c";
+  Trace.emit tr ~at:40 ~cat:"migration.send" "d";
+  let msgs ?cat ?prefix () =
+    List.map (fun e -> e.Trace.msg) (Trace.events ?cat ?prefix tr)
+  in
+  Alcotest.(check (list string)) "prefix filter" [ "a"; "b"; "d" ]
+    (msgs ~prefix:"migration." ());
+  Alcotest.(check (list string)) "prefix misses exact-only cats" [ "c" ]
+    (msgs ~prefix:"futex" ());
+  Alcotest.(check (list string)) "empty prefix keeps all" [ "a"; "b"; "c"; "d" ]
+    (msgs ~prefix:"" ());
+  Alcotest.(check (list string)) "no match" [] (msgs ~prefix:"zzz" ());
+  (* Both filters compose: exact category AND prefix. *)
+  Alcotest.(check (list string)) "cat + prefix" [ "b"; "d" ]
+    (msgs ~cat:"migration.send" ~prefix:"migration." ());
+  Alcotest.(check (list string)) "cat + contradictory prefix" []
+    (msgs ~cat:"migration.send" ~prefix:"futex" ())
+
 let test_trace_overflow () =
   (* Many wraparounds: [total] keeps counting while [count]/[events] stay
      bounded by the capacity and hold exactly the newest events. *)
@@ -305,7 +327,11 @@ let test_trace_overflow () =
   let n = 1000 in
   let tr = Trace.create ~capacity:cap () in
   for i = 1 to n do
-    Trace.emit tr ~at:i ~cat:"c" (string_of_int i)
+    Trace.emit tr ~at:i ~cat:"c" (string_of_int i);
+    (* Mid-stream invariants: total is exactly monotone (one per emit)
+       while count saturates at the ring capacity. *)
+    assert (Trace.total tr = i);
+    assert (Trace.count tr = min i cap)
   done;
   Alcotest.(check int) "total counts every emit" n (Trace.total tr);
   Alcotest.(check int) "count bounded by capacity" cap (Trace.count tr);
@@ -416,6 +442,7 @@ let () =
       ( "trace",
         [
           Alcotest.test_case "ring + filter" `Quick test_trace_ring;
+          Alcotest.test_case "prefix filter" `Quick test_trace_prefix;
           Alcotest.test_case "overflow keeps newest" `Quick
             test_trace_overflow;
           Alcotest.test_case "order" `Quick test_trace_chronological;

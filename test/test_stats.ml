@@ -38,7 +38,64 @@ let test_histogram_percentiles () =
 
 let test_histogram_empty () =
   let h = Stats.Histogram.create () in
-  Alcotest.(check (float 0.)) "empty p99" 0. (Stats.Histogram.p99 h)
+  Alcotest.(check (float 0.)) "empty p99" 0. (Stats.Histogram.p99 h);
+  Alcotest.(check (float 0.)) "empty mean" 0. (Stats.Histogram.mean h);
+  Alcotest.(check (float 0.)) "empty max" 0. (Stats.Histogram.max h);
+  Alcotest.(check int) "empty count" 0 (Stats.Histogram.count h)
+
+let test_histogram_single_sample () =
+  let h = Stats.Histogram.create () in
+  Stats.Histogram.add h 42.;
+  (* With one sample every percentile lands in the same log bucket
+     (±10% relative accuracy), and mean/max are exact. *)
+  List.iter
+    (fun p ->
+      let v = Stats.Histogram.percentile h p in
+      Alcotest.(check bool)
+        (Printf.sprintf "p%.0f within bucket accuracy" p)
+        true
+        (v > 42. *. 0.9 && v < 42. *. 1.1))
+    [ 0.; 50.; 99.; 100. ];
+  Alcotest.(check (float 1e-9)) "mean exact" 42. (Stats.Histogram.mean h);
+  Alcotest.(check (float 1e-9)) "max exact" 42. (Stats.Histogram.max h);
+  Alcotest.(check int) "count" 1 (Stats.Histogram.count h)
+
+let test_histogram_max_tracks_largest () =
+  let h = Stats.Histogram.create () in
+  List.iter (Stats.Histogram.add h) [ 5.; 100.; 3.; 99. ];
+  Alcotest.(check (float 1e-9)) "max is largest seen" 100.
+    (Stats.Histogram.max h);
+  (* Zero is a legal observation and does not disturb max. *)
+  Stats.Histogram.add h 0.;
+  Alcotest.(check (float 1e-9)) "zero observation kept" 100.
+    (Stats.Histogram.max h);
+  Alcotest.(check int) "count includes zero" 5 (Stats.Histogram.count h)
+
+let test_summary_empty () =
+  let s = Stats.Summary.create () in
+  Alcotest.(check int) "count" 0 (Stats.Summary.count s);
+  Alcotest.(check (float 0.)) "mean defined" 0. (Stats.Summary.mean s);
+  Alcotest.(check (float 0.)) "stddev defined" 0. (Stats.Summary.stddev s);
+  Alcotest.(check (float 0.)) "total" 0. (Stats.Summary.total s);
+  (* Merging with an empty summary is the identity. *)
+  let b = Stats.Summary.create () in
+  List.iter (Stats.Summary.add b) [ 1.; 2. ];
+  let m = Stats.Summary.merge s b in
+  Alcotest.(check int) "merge count" 2 (Stats.Summary.count m);
+  Alcotest.(check (float 1e-9)) "merge mean" 1.5 (Stats.Summary.mean m);
+  let m' = Stats.Summary.merge b s in
+  Alcotest.(check (float 1e-9)) "merge symmetric" (Stats.Summary.mean m)
+    (Stats.Summary.mean m')
+
+let test_breakdown_single () =
+  let b = Stats.Breakdown.create () in
+  Stats.Breakdown.add b "only" 7.;
+  Alcotest.(check (float 1e-9)) "get" 7. (Stats.Breakdown.get b "only");
+  Alcotest.(check (float 1e-9)) "total" 7. (Stats.Breakdown.total b);
+  Alcotest.(check (list string)) "one component" [ "only" ]
+    (List.map fst (Stats.Breakdown.components b));
+  Alcotest.(check (float 1e-9)) "absent component" 0.
+    (Stats.Breakdown.get b "missing")
 
 let test_breakdown () =
   let b = Stats.Breakdown.create () in
@@ -142,14 +199,21 @@ let () =
         [
           Alcotest.test_case "basics" `Quick test_summary;
           Alcotest.test_case "merge" `Quick test_summary_merge;
+          Alcotest.test_case "empty" `Quick test_summary_empty;
         ] );
       ( "histogram",
         [
           Alcotest.test_case "percentiles" `Quick test_histogram_percentiles;
           Alcotest.test_case "empty" `Quick test_histogram_empty;
+          Alcotest.test_case "single sample" `Quick test_histogram_single_sample;
+          Alcotest.test_case "max tracks largest" `Quick
+            test_histogram_max_tracks_largest;
         ] );
       ( "breakdown",
-        [ Alcotest.test_case "accumulate + order" `Quick test_breakdown ] );
+        [
+          Alcotest.test_case "accumulate + order" `Quick test_breakdown;
+          Alcotest.test_case "single bucket" `Quick test_breakdown_single;
+        ] );
       ( "table",
         [
           Alcotest.test_case "render" `Quick test_table_render;
