@@ -6,10 +6,13 @@
      all [--quick]      run every experiment
      demo [...]         boot a cluster and run a demonstration workload
      metrics demo [...] demo workload with the observability layer attached
+     analyze <file>     causal / critical-path report over exported results
+     diff <old> <new>   compare two results files metric-by-metric
 
    `run` and `all` accept --json FILE (machine-readable results + metrics)
    and --trace-out FILE (Chrome trace_event JSON of the migration-protocol
-   spans; load it at https://ui.perfetto.dev). *)
+   spans; load it at https://ui.perfetto.dev). `analyze` reads either file
+   kind; `diff --fail-on-regress PCT` exits 3 on regression (the CI gate). *)
 
 open Cmdliner
 
@@ -35,12 +38,28 @@ let trace_out =
   in
   Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
 
-(* Shared by `run` and `all`: export outcomes to --json / --trace-out. *)
-let export ~quick outcomes json trace =
+let baseline_out =
+  let doc =
+    "Write a metrics-only copy of the results (no spans/causal sections) to \
+     $(docv); small enough to commit as the perf-regression baseline for \
+     $(b,popcornsim diff)."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "baseline-out" ] ~docv:"FILE" ~doc)
+
+(* Shared by `run` and `all`: export outcomes to --json / --trace-out /
+   --baseline-out. *)
+let export ~quick outcomes json trace baseline =
   (match json with
   | None -> ()
   | Some path ->
       Obs.Json.to_file path (Experiments.Registry.report_json ~quick outcomes);
+      Printf.printf "wrote %s\n" path);
+  (match baseline with
+  | None -> ()
+  | Some path ->
+      Obs.Json.to_file path
+        (Experiments.Registry.report_json ~quick ~metrics_only:true outcomes);
       Printf.printf "wrote %s\n" path);
   match trace with
   | None -> ()
@@ -51,8 +70,9 @@ let export ~quick outcomes json trace =
           outcomes
       in
       let spans = List.map (fun (s : Obs.Sink.t) -> s.Obs.Sink.spans) sinks in
+      let causal = List.map (fun (s : Obs.Sink.t) -> s.Obs.Sink.causal) sinks in
       let traces = List.map (fun (s : Obs.Sink.t) -> s.Obs.Sink.trace) sinks in
-      Obs.Json.to_file path (Obs.Export.chrome_trace ~spans ~traces ());
+      Obs.Json.to_file path (Obs.Export.chrome_trace ~spans ~causal ~traces ());
       Printf.printf "wrote %s\n" path
 
 (* --- list --- *)
@@ -75,28 +95,28 @@ let run_cmd =
     let doc = Printf.sprintf "Experiment id (%s)." experiment_ids in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
   in
-  let run id quick json trace =
+  let run id quick json trace baseline =
     match Experiments.Registry.find id with
     | Some e ->
-        let observe = json <> None || trace <> None in
+        let observe = json <> None || trace <> None || baseline <> None in
         let o = Experiments.Registry.run_one ~quick ~observe e in
-        export ~quick [ o ] json trace;
+        export ~quick [ o ] json trace baseline;
         `Ok ()
     | None -> `Error (false, "unknown experiment id: " ^ id)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one experiment and print its tables.")
-    Term.(ret (const run $ id $ quick $ json_out $ trace_out))
+    Term.(ret (const run $ id $ quick $ json_out $ trace_out $ baseline_out))
 
 (* --- all --- *)
 
 let all_cmd =
-  let run quick json trace =
-    let observe = json <> None || trace <> None in
+  let run quick json trace baseline =
+    let observe = json <> None || trace <> None || baseline <> None in
     let outcomes = Experiments.Registry.run_all ~quick ~observe () in
-    export ~quick outcomes json trace
+    export ~quick outcomes json trace baseline
   in
   Cmd.v (Cmd.info "all" ~doc:"Run every experiment.")
-    Term.(const run $ quick $ json_out $ trace_out)
+    Term.(const run $ quick $ json_out $ trace_out $ baseline_out)
 
 (* --- demo --- *)
 
@@ -186,7 +206,7 @@ let metrics_demo_cmd =
       in
       let sink = Obs.Sink.create () in
       Hw.Machine.attach_obs machine ~metrics:sink.Obs.Sink.metrics
-        ~spans:sink.Obs.Sink.spans ();
+        ~spans:sink.Obs.Sink.spans ~causal:sink.Obs.Sink.causal ();
       Popcorn.Cluster.observe ~metrics:sink.Obs.Sink.metrics
         ~tracer:sink.Obs.Sink.trace cluster;
       let eng = machine.Hw.Machine.eng in
@@ -251,6 +271,78 @@ let metrics_cmd =
        ~doc:"Observability: run instrumented workloads and export metrics.")
     [ metrics_demo_cmd ]
 
+(* --- analyze --- *)
+
+let analyze_cmd =
+  let file =
+    let doc =
+      "Results file from --json (popcornsim-bench-v2) or Chrome trace from \
+       --trace-out."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run file =
+    match Obs.Json.of_file file with
+    | Error e -> `Error (false, Printf.sprintf "%s: %s" file e)
+    | Ok doc -> (
+        match Obs.Report.analyze_doc doc with
+        | Ok report ->
+            print_string report;
+            `Ok ()
+        | Error e -> `Error (false, Printf.sprintf "%s: %s" file e))
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Reconstruct the cross-kernel happens-before DAG from an exported \
+          run and print per-subsystem self time plus the critical path of \
+          each migration / thread-group-create.")
+    Term.(ret (const run $ file))
+
+(* --- diff --- *)
+
+let diff_cmd =
+  let old_file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"OLD" ~doc:"Baseline results file (--json output).")
+  in
+  let new_file =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"NEW" ~doc:"Candidate results file (--json output).")
+  in
+  let fail_on_regress =
+    let doc =
+      "Exit 3 when any time metric regressed by more than $(docv) percent \
+       or any failure counter increased."
+    in
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "fail-on-regress" ] ~docv:"PCT" ~doc)
+  in
+  let run old_file new_file fail_pct =
+    match (Obs.Json.of_file old_file, Obs.Json.of_file new_file) with
+    | Error e, _ -> `Error (false, Printf.sprintf "%s: %s" old_file e)
+    | _, Error e -> `Error (false, Printf.sprintf "%s: %s" new_file e)
+    | Ok old_doc, Ok new_doc ->
+        let report, regressions =
+          Obs.Report.diff ?fail_pct ~old_doc ~new_doc ()
+        in
+        print_string report;
+        if regressions > 0 && fail_pct <> None then Stdlib.exit 3;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Compare two results files metric-by-metric; the perf-regression \
+          gate for CI.")
+    Term.(ret (const run $ old_file $ new_file $ fail_on_regress))
+
 let () =
   let info =
     Cmd.info "popcornsim" ~version:"1.0.0"
@@ -258,4 +350,6 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group info [ list_cmd; run_cmd; all_cmd; demo_cmd; metrics_cmd ]))
+       (Cmd.group info
+          [ list_cmd; run_cmd; all_cmd; demo_cmd; metrics_cmd; analyze_cmd;
+            diff_cmd ]))

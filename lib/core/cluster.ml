@@ -4,18 +4,23 @@
 open Types
 module K = Kernelmodel
 
-let dispatch cluster ~dst ~src payload =
+let dispatch cluster ~dst ~src ~(delivery : Msg.Transport.delivery) payload =
   let kernel = kernel_of cluster dst in
+  (* The message id of the delivery that triggered this handler: handlers
+     that open a span pass it as [?cause] so the span is causally linked to
+     the message that started it (see {!Obs.Causal}). *)
+  let cause = delivery.Msg.Transport.msg_id in
   match payload with
   (* thread groups & migration *)
   | Thread_spawn_req { ticket; pid; target } ->
-      Thread_group.handle_thread_spawn cluster kernel ~src ~ticket ~pid
-        ~target
+      Thread_group.handle_thread_spawn cluster kernel ~src ~cause ~ticket
+        ~pid ~target
   | Thread_create_req { ticket; pid; new_tid; vma_proto } ->
-      Thread_group.handle_thread_create cluster kernel ~src ~ticket ~pid
-        ~new_tid ~vma_proto
+      Thread_group.handle_thread_create cluster kernel ~src ~cause ~ticket
+        ~pid ~new_tid ~vma_proto
   | Migrate_req { ticket; pid; task } ->
-      Migration.handle_migrate_req cluster kernel ~src ~ticket ~pid ~task
+      Migration.handle_migrate_req cluster kernel ~src ~cause ~ticket ~pid
+        ~task
   | Migrate_cancel { pid; tid } ->
       Migration.handle_migrate_cancel cluster kernel ~pid ~tid
   | Group_exit_notify { pid; _ } ->
@@ -74,7 +79,7 @@ let dispatch cluster ~dst ~src payload =
       Vfs.handle_req cluster kernel ~src ~ticket ~pid ~op
   (* single-system image / balancing *)
   | Task_list_req { ticket } ->
-      Ssi.handle_task_list cluster kernel ~src ~ticket
+      Ssi.handle_task_list cluster kernel ~src ~cause ~ticket
   | Load_query { ticket } ->
       Balancer.handle_load_query cluster kernel ~src ~ticket
   (* responses: complete the matching ticket on the receiving kernel *)
@@ -111,9 +116,9 @@ let boot ?(opts = default_options) (machine : Hw.Machine.t) ~kernels
   let cluster_ref = ref None in
   let fabric =
     Msg.Transport.create machine ~ring_slots:256
-      ~handler:(fun _t ~dst ~src payload ->
+      ~handler:(fun _t ~dst ~src delivery payload ->
         match !cluster_ref with
-        | Some cluster -> dispatch cluster ~dst ~src payload
+        | Some cluster -> dispatch cluster ~dst ~src ~delivery payload
         | None -> assert false)
   in
   let make_kernel kid =
@@ -175,8 +180,8 @@ let enable_tracing ?capacity cluster =
     and span recorder go to the machine (the messaging layer and the OS
     models consult them), the trace ring becomes the protocol tracer, and
     every kernel's RPC table gets its rpc.* counters routed. *)
-let observe ?metrics ?spans ?tracer cluster =
-  Hw.Machine.attach_obs cluster.machine ?metrics ?spans ();
+let observe ?metrics ?spans ?causal ?tracer cluster =
+  Hw.Machine.attach_obs cluster.machine ?metrics ?spans ?causal ();
   (match tracer with Some _ -> cluster.tracer <- tracer | None -> ());
   match metrics with
   | None -> ()

@@ -3,9 +3,17 @@
 
 open Types
 
-val dispatch : cluster -> dst:int -> src:int -> payload -> unit
+val dispatch :
+  cluster ->
+  dst:int ->
+  src:int ->
+  delivery:Msg.Transport.delivery ->
+  payload ->
+  unit
 (** Route one delivered message to its subsystem handler (installed as the
-    transport handler by {!boot}; exposed for tests). *)
+    transport handler by {!boot}; exposed for tests). [delivery] carries the
+    wire metadata of the triggering message; handlers that open a span link
+    it to that message in the causal event log ({!Obs.Causal}). *)
 
 val boot :
   ?opts:options -> Hw.Machine.t -> kernels:int -> cores_per_kernel:int ->
@@ -21,14 +29,16 @@ val enable_tracing : ?capacity:int -> cluster -> Sim.Trace.t
 val observe :
   ?metrics:Obs.Metrics.t ->
   ?spans:Obs.Span.t ->
+  ?causal:Obs.Causal.t ->
   ?tracer:Sim.Trace.t ->
   cluster ->
   unit
-(** Attach observability: [metrics] and [spans] go to the machine (and
-    [metrics] additionally to every kernel's RPC table for rpc.* counters);
-    [tracer] becomes the protocol-event tracer. Typically called right after
-    {!boot} with the pieces of an [Obs.Sink.t]. With nothing attached the
-    instrumentation is free and simulated results are bit-identical. *)
+(** Attach observability: [metrics], [spans] and [causal] go to the machine
+    (and [metrics] additionally to every kernel's RPC table for rpc.*
+    counters); [tracer] becomes the protocol-event tracer. Typically called
+    right after {!boot} with the pieces of an [Obs.Sink.t]. With nothing
+    attached the instrumentation is free and simulated results are
+    bit-identical. *)
 
 val create_process :
   cluster -> origin_kernel:int -> process * Kernelmodel.Task.t

@@ -48,7 +48,7 @@ let isa_transform_cost = Sim.Time.us 25
 (** Destination-side import handler. Idempotent: a retransmitted request
     whose original was imported but whose ack was lost must not adopt the
     task a second time — it just re-acks. *)
-let handle_migrate_req cluster (kernel : kernel) ~src ~ticket ~pid
+let handle_migrate_req cluster (kernel : kernel) ~src ~cause ~ticket ~pid
     ~(task : K.Task.t) =
   if Hashtbl.mem kernel.tasks task.K.Task.tid then begin
     trace cluster ~cat:"migrate" "k%d: duplicate import of tid %d, re-ack"
@@ -60,7 +60,8 @@ let handle_migrate_req cluster (kernel : kernel) ~src ~ticket ~pid
     let eng = eng cluster in
     let t0 = Sim.Engine.now eng in
     let sp =
-      sp_begin cluster ~tid:task.K.Task.tid ~kernel:kernel.kid Obs.Span.Import
+      sp_begin cluster ~cause ~tid:task.K.Task.tid ~kernel:kernel.kid
+        Obs.Span.Import
     in
     let proc = proc_exn cluster pid in
     let r = Thread_group.ensure_replica cluster kernel proc in
@@ -74,7 +75,8 @@ let handle_migrate_req cluster (kernel : kernel) ~src ~ticket ~pid
     let import_ns = Sim.Time.sub (Sim.Engine.now eng) t0 in
     trace cluster ~cat:"migrate" "k%d imported tid %d of pid %d (%dns)"
       kernel.kid task.K.Task.tid pid import_ns;
-    send cluster ~src:kernel.kid ~dst:src (Migrate_ack { ticket; import_ns })
+    send ?span:sp cluster ~src:kernel.kid ~dst:src
+      (Migrate_ack { ticket; import_ns })
   end
 
 (** Destination-side revocation: the origin exhausted its retries and kept
@@ -165,10 +167,12 @@ let migrate cluster (kernel : kernel) ~core (task : K.Task.t) ~dst :
     let response =
       match cluster.opts.migration_retry with
       | None ->
-          Some (Proto_util.call_from cluster ~src:kernel ~src_core:core ~dst make)
+          Some
+            (Proto_util.call_from ?span:sp_xfer cluster ~src:kernel
+               ~src_core:core ~dst make)
       | Some policy ->
-          Proto_util.call_retry_from cluster ~src:kernel ~src_core:core ~dst
-            ~policy make
+          Proto_util.call_retry_from ?span:sp_xfer cluster ~src:kernel
+            ~src_core:core ~dst ~policy make
     in
     match response with
     | Some (Migrate_ack { import_ns; _ }) ->
@@ -221,7 +225,7 @@ let migrate cluster (kernel : kernel) ~core (task : K.Task.t) ~dst :
            core: it was never unassigned. *)
         let t_gave_up = Sim.Engine.now eng in
         sp_end cluster sp_xfer;
-        send_from cluster ~src:kernel.kid ~src_core:core ~dst
+        send_from ?span:sp_mig cluster ~src:kernel.kid ~src_core:core ~dst
           (Migrate_cancel { pid = task.K.Task.tgid; tid = task.K.Task.tid });
         Proto_util.kernel_work cluster (restore_ctx_cost task.K.Task.ctx);
         K.Task.set_state task K.Task.Running;

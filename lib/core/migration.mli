@@ -29,13 +29,16 @@ val handle_migrate_req :
   cluster ->
   kernel ->
   src:int ->
+  cause:int ->
   ticket:int ->
   pid:pid ->
   task:Kernelmodel.Task.t ->
   unit
 (** Destination-side import handler (wired by [Cluster.dispatch]).
-    Idempotent: a retransmitted request whose original was imported (only
-    the ack was lost) re-acks without adopting the task again. *)
+    [cause] is the message id of the delivered request; the Import span is
+    causally linked to it. Idempotent: a retransmitted request whose
+    original was imported (only the ack was lost) re-acks without adopting
+    the task again. *)
 
 val handle_migrate_cancel : cluster -> kernel -> pid:pid -> tid:tid -> unit
 (** Destination-side revocation of an orphan import, sent (best effort) by

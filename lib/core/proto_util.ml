@@ -8,7 +8,7 @@ let kernel_work cluster dt = Engine.sleep (eng cluster) dt
 
 (** Send [make ~ack_ticket] to every kernel in [targets] in parallel and
     park until all have acked (via [Rpc.complete] on this kernel). *)
-let broadcast_and_wait cluster ~(src : kernel) ~targets ~make =
+let broadcast_and_wait ?span cluster ~(src : kernel) ~targets ~make =
   let targets = List.filter (fun k -> k <> src.kid) targets in
   match targets with
   | [] -> ()
@@ -19,24 +19,25 @@ let broadcast_and_wait cluster ~(src : kernel) ~targets ~make =
           let ticket =
             Msg.Rpc.register src.rpc (fun (_ : payload) -> Msg.Gather.ack g)
           in
-          send cluster ~src:src.kid ~dst (make ~ack_ticket:ticket))
+          send ?span cluster ~src:src.kid ~dst (make ~ack_ticket:ticket))
         targets;
       Msg.Gather.wait g
 
-(** RPC round trip from kernel [src] to kernel [dst]. *)
-let call cluster ~(src : kernel) ~dst make =
+(** RPC round trip from kernel [src] to kernel [dst]. [?span] stamps the
+    request with the protocol span it belongs to (causal trace context). *)
+let call ?span cluster ~(src : kernel) ~dst make =
   Msg.Rpc.call src.rpc (fun ticket ->
-      send cluster ~src:src.kid ~dst (make ~ticket))
+      send ?span cluster ~src:src.kid ~dst (make ~ticket))
 
 (** Like {!call} but sent from an explicit core of the source kernel. *)
-let call_from cluster ~(src : kernel) ~src_core ~dst make =
+let call_from ?span cluster ~(src : kernel) ~src_core ~dst make =
   Msg.Rpc.call src.rpc (fun ticket ->
-      send_from cluster ~src:src.kid ~src_core ~dst (make ~ticket))
+      send_from ?span cluster ~src:src.kid ~src_core ~dst (make ~ticket))
 
 (** Like {!call_from} but retransmitting under [policy] instead of parking
     forever; [None] when every attempt timed out. Handlers of retried
     requests must be idempotent: an earlier attempt may have been executed
     with only its response lost. *)
-let call_retry_from cluster ~(src : kernel) ~src_core ~dst ~policy make =
+let call_retry_from ?span cluster ~(src : kernel) ~src_core ~dst ~policy make =
   Msg.Rpc.call_retry src.rpc ~policy (fun ~attempt:_ ticket ->
-      send_from cluster ~src:src.kid ~src_core ~dst (make ~ticket))
+      send_from ?span cluster ~src:src.kid ~src_core ~dst (make ~ticket))

@@ -6,6 +6,7 @@ val kernel_work : cluster -> Sim.Time.t -> unit
 (** Charge kernel-side processing work to the current fiber. *)
 
 val broadcast_and_wait :
+  ?span:Obs.Span.span ->
   cluster ->
   src:kernel ->
   targets:int list ->
@@ -14,10 +15,19 @@ val broadcast_and_wait :
 (** Send [make ~ack_ticket] to every kernel in [targets] (self excluded) in
     parallel and park until all have acked via this kernel's RPC table. *)
 
-val call : cluster -> src:kernel -> dst:int -> (ticket:int -> payload) -> payload
-(** RPC round trip from kernel [src]'s home core to kernel [dst]. *)
+val call :
+  ?span:Obs.Span.span ->
+  cluster ->
+  src:kernel ->
+  dst:int ->
+  (ticket:int -> payload) ->
+  payload
+(** RPC round trip from kernel [src]'s home core to kernel [dst]. [?span]
+    stamps the request with the protocol span it is issued from, recording
+    the span -> message causal edge ({!Obs.Causal}). *)
 
 val call_from :
+  ?span:Obs.Span.span ->
   cluster ->
   src:kernel ->
   src_core:Hw.Topology.core ->
@@ -27,6 +37,7 @@ val call_from :
 (** Like {!call} but sent from an explicit core of the source kernel. *)
 
 val call_retry_from :
+  ?span:Obs.Span.span ->
   cluster ->
   src:kernel ->
   src_core:Hw.Topology.core ->

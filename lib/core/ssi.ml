@@ -8,7 +8,10 @@
 open Types
 module K = Kernelmodel
 
-let handle_task_list cluster (kernel : kernel) ~src ~ticket =
+let handle_task_list cluster (kernel : kernel) ~src ~cause ~ticket =
+  let sp =
+    sp_begin cluster ~cause ~kernel:kernel.kid (Obs.Span.Custom "task_list")
+  in
   Proto_util.kernel_work cluster (Sim.Time.ns 500);
   let tids =
     Hashtbl.fold
@@ -16,12 +19,17 @@ let handle_task_list cluster (kernel : kernel) ~src ~ticket =
       kernel.tasks []
     |> List.sort compare
   in
-  send cluster ~src:kernel.kid ~dst:src (Task_list_resp { ticket; tids })
+  sp_end cluster sp;
+  send ?span:sp cluster ~src:kernel.kid ~dst:src
+    (Task_list_resp { ticket; tids })
 
 (** Global task listing, as a ps/procfs reader on [kernel] would see it:
     queries every other kernel in parallel and merges. *)
 let global_tasks cluster (kernel : kernel) : (K.Ids.tid * pid) list =
   let eng = eng cluster in
+  let sp =
+    sp_begin cluster ~kernel:kernel.kid (Obs.Span.Custom "ssi_task_list")
+  in
   let others =
     List.filter (fun k -> k <> kernel.kid)
       (List.init (nkernels cluster) Fun.id)
@@ -37,7 +45,7 @@ let global_tasks cluster (kernel : kernel) : (K.Ids.tid * pid) list =
             | _ -> assert false);
             Msg.Gather.ack g)
       in
-      send cluster ~src:kernel.kid ~dst (Task_list_req { ticket }))
+      send ?span:sp cluster ~src:kernel.kid ~dst (Task_list_req { ticket }))
     others;
   Msg.Gather.wait g;
   let local =
@@ -45,7 +53,9 @@ let global_tasks cluster (kernel : kernel) : (K.Ids.tid * pid) list =
       (fun tid (task : K.Task.t) l -> (tid, task.K.Task.tgid) :: l)
       kernel.tasks []
   in
-  List.sort compare (local @ !acc)
+  let r = List.sort compare (local @ !acc) in
+  sp_end cluster sp;
+  r
 
 (** Which kernel hosts [tid] right now; [None] if it exited. *)
 let locate_thread cluster ~tid = Ssi_locate.locate cluster ~tid

@@ -14,5 +14,7 @@ val locate_thread : cluster -> tid:tid -> int option
 val wait_group_exit : cluster -> process -> unit
 (** Park until every thread of the group has exited (waitpid-ish). *)
 
-val handle_task_list : cluster -> kernel -> src:int -> ticket:int -> unit
-(** Message handler (wired by [Cluster.dispatch]). *)
+val handle_task_list :
+  cluster -> kernel -> src:int -> cause:int -> ticket:int -> unit
+(** Message handler (wired by [Cluster.dispatch]); the responder span is
+    causally linked to the delivered request via [cause]. *)

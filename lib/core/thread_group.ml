@@ -73,8 +73,12 @@ let ensure_replica cluster (kernel : kernel) (proc : process) : replica =
       end
 
 (** Target-side handler: actually build the thread. *)
-let handle_thread_create cluster (kernel : kernel) ~src ~ticket ~pid ~new_tid
-    ~vma_proto =
+let handle_thread_create cluster (kernel : kernel) ~src ~cause ~ticket ~pid
+    ~new_tid ~vma_proto =
+  let sp =
+    sp_begin cluster ~cause ~tid:new_tid ~kernel:kernel.kid
+      (Obs.Span.Custom "thread_import")
+  in
   let proc = proc_exn cluster pid in
   let r =
     match (find_replica kernel pid, vma_proto) with
@@ -91,17 +95,20 @@ let handle_thread_create cluster (kernel : kernel) ~src ~ticket ~pid ~new_tid
       ~ctx:(new_context cluster)
   in
   K.Task.set_state task K.Task.Ready;
-  send cluster ~src:kernel.kid ~dst:src (Thread_create_ack { ticket })
+  sp_end cluster sp;
+  send ?span:sp cluster ~src:kernel.kid ~dst:src (Thread_create_ack { ticket })
 
 (** Origin-side spawn coordination: allocate the tid and the stack, update
-    membership, drive the target, return the tid. *)
-let origin_spawn cluster (origin : kernel) (proc : process) ~target : tid =
+    membership, drive the target, return the tid. [?cause] is the message
+    id of the [Thread_spawn_req] that triggered a remote-requester spawn. *)
+let origin_spawn ?cause cluster (origin : kernel) (proc : process) ~target :
+    tid =
   m_incr cluster ~kernel:target "threads.spawned";
   if target = origin.kid then
     (create_local cluster origin (replica_exn origin proc.pid)).K.Task.tid
   else begin
     let sp =
-      sp_begin cluster ~kernel:origin.kid Obs.Span.Thread_group_create
+      sp_begin ?cause cluster ~kernel:origin.kid Obs.Span.Thread_group_create
     in
     alloc_stack cluster origin proc;
     let tid = K.Ids.next origin.tid_alloc in
@@ -119,7 +126,8 @@ let origin_spawn cluster (origin : kernel) (proc : process) ~target : tid =
     trace cluster ~cat:"spawn" "origin k%d creating tid %d on k%d"
       origin.kid tid target;
     (match
-       Proto_util.call cluster ~src:origin ~dst:target (fun ~ticket ->
+       Proto_util.call ?span:sp cluster ~src:origin ~dst:target
+         (fun ~ticket ->
            Thread_create_req { ticket; pid = proc.pid; new_tid = tid; vma_proto })
      with
     | Thread_create_ack _ -> ()
@@ -129,9 +137,10 @@ let origin_spawn cluster (origin : kernel) (proc : process) ~target : tid =
   end
 
 (** Origin-side message handler for remote spawn requests. *)
-let handle_thread_spawn cluster (kernel : kernel) ~src ~ticket ~pid ~target =
+let handle_thread_spawn cluster (kernel : kernel) ~src ~cause ~ticket ~pid
+    ~target =
   let proc = proc_exn cluster pid in
-  let tid = origin_spawn cluster kernel proc ~target in
+  let tid = origin_spawn ~cause cluster kernel proc ~target in
   send cluster ~src:kernel.kid ~dst:src (Thread_spawn_resp { ticket; tid })
 
 (** Application-facing spawn: create a thread of [pid] on [target] from a

@@ -38,12 +38,20 @@ val kill :
 (** {1 Message handlers} (wired by [Cluster.dispatch]) *)
 
 val handle_thread_spawn :
-  cluster -> kernel -> src:int -> ticket:int -> pid:pid -> target:int -> unit
+  cluster ->
+  kernel ->
+  src:int ->
+  cause:int ->
+  ticket:int ->
+  pid:pid ->
+  target:int ->
+  unit
 
 val handle_thread_create :
   cluster ->
   kernel ->
   src:int ->
+  cause:int ->
   ticket:int ->
   pid:pid ->
   new_tid:tid ->

@@ -375,15 +375,24 @@ let m_observe cluster ?kernel name x =
   Hw.Machine.metric_observe cluster.machine ?kernel name x
 
 (** Span helpers: open/close a protocol-phase span at the current simulated
-    time when a recorder is attached; [None] (and no cost) otherwise. *)
-let sp_begin cluster ?parent ?tid ~kernel kind =
+    time when a recorder is attached; [None] (and no cost) otherwise.
+    [?cause] is the id of the delivered message this span handles
+    ({!Msg.Transport.delivery}); it records the message -> span edge of the
+    cross-kernel happens-before DAG ({!Obs.Causal}). *)
+let sp_begin cluster ?parent ?cause ?tid ~kernel kind =
   match cluster.machine.Hw.Machine.spans with
   | None -> None
   | Some rec_ ->
       let parent = Option.map (fun (p : Obs.Span.span) -> p.Obs.Span.id) parent in
-      Some
-        (Obs.Span.start rec_ ?parent ?tid ~kernel
-           ~at:(Engine.now cluster.machine.Hw.Machine.eng) kind)
+      let sp =
+        Obs.Span.start rec_ ?parent ?tid ~kernel
+          ~at:(Engine.now cluster.machine.Hw.Machine.eng) kind
+      in
+      (match cause with
+      | Some id ->
+          Hw.Machine.causal_link cluster.machine ~id ~span:sp.Obs.Span.id
+      | None -> ());
+      Some sp
 
 let sp_end cluster sp =
   match sp with
@@ -395,11 +404,18 @@ let pp_arch fmt = function
   | X86_64 -> Format.pp_print_string fmt "x86_64"
   | Arm64 -> Format.pp_print_string fmt "arm64"
 
-(** Send helpers: every cross-kernel interaction funnels through these. *)
-let send cluster ~src ~dst payload =
-  Msg.Transport.send cluster.fabric ~src ~dst ~bytes:(Wire.size payload)
-    payload
+(** Send helpers: every cross-kernel interaction funnels through these.
+    [?span] stamps the message with the protocol span it is sent from, so
+    the causal log can chain origin spans to the destination's handler
+    spans across the wire. *)
+let span_id = function
+  | None -> None
+  | Some (s : Obs.Span.span) -> Some s.Obs.Span.id
 
-let send_from cluster ~src ~src_core ~dst payload =
-  Msg.Transport.send_from_core cluster.fabric ~src ~src_core ~dst
+let send ?span cluster ~src ~dst payload =
+  Msg.Transport.send cluster.fabric ?from_span:(span_id span) ~src ~dst
     ~bytes:(Wire.size payload) payload
+
+let send_from ?span cluster ~src ~src_core ~dst payload =
+  Msg.Transport.send_from_core cluster.fabric ?from_span:(span_id span) ~src
+    ~src_core ~dst ~bytes:(Wire.size payload) payload

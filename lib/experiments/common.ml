@@ -28,7 +28,7 @@ let machine ?(seed = 42) () =
   | None -> ()
   | Some s ->
       Hw.Machine.attach_obs m ~metrics:s.Obs.Sink.metrics
-        ~spans:s.Obs.Sink.spans ());
+        ~spans:s.Obs.Sink.spans ~causal:s.Obs.Sink.causal ());
   m
 
 (** Run [f cluster root_thread] as the main thread of a fresh process on a

@@ -88,6 +88,23 @@ let run_one ?quick ?(observe = false) (e : t) : outcome =
   let tables = e.run ?quick () in
   let host_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
   Common.set_sink None;
+  (* Instrumentation-health metrics, recorded after the run so they see
+     the final state: spans the workload never closed (analysis clamps
+     them to end-of-run) and trace-ring events evicted by the capacity
+     bound. *)
+  (match sink with
+  | None -> ()
+  | Some s ->
+      let unclosed =
+        List.fold_left
+          (fun n (sp : Obs.Span.span) ->
+            if sp.Obs.Span.stop < 0 then n + 1 else n)
+          0
+          (Obs.Span.spans s.Obs.Sink.spans)
+      in
+      Obs.Metrics.add s.Obs.Sink.metrics "spans.unclosed" unclosed;
+      Obs.Metrics.add s.Obs.Sink.metrics "trace.dropped"
+        (Sim.Trace.total s.Obs.Sink.trace - Sim.Trace.count s.Obs.Sink.trace));
   List.iter
     (fun t ->
       print_string (Stats.Table.render t);
@@ -115,7 +132,7 @@ let table_json (t : Stats.Table.t) =
              (Stats.Table.rows t)) );
     ]
 
-let outcome_json (o : outcome) =
+let outcome_json ?(metrics_only = false) (o : outcome) =
   Obs.Json.Obj
     ([
        ("id", Obs.Json.Str o.spec.id);
@@ -126,12 +143,29 @@ let outcome_json (o : outcome) =
     @
     match o.sink with
     | None -> []
-    | Some s -> [ ("metrics", Obs.Metrics.to_json s.Obs.Sink.metrics) ])
+    | Some s ->
+        ("metrics", Obs.Metrics.to_json s.Obs.Sink.metrics)
+        ::
+        (if metrics_only then []
+         else
+           [
+             ( "spans",
+               Obs.Critpath.ispans_to_json
+                 (Obs.Critpath.ispans_of_recorder s.Obs.Sink.spans) );
+             ("causal", Obs.Causal.to_json s.Obs.Sink.causal);
+           ]))
 
-let report_json ?(quick = false) (outcomes : outcome list) =
+(* v2 adds per-experiment "spans" and "causal" sections (when the run was
+   observed) for `popcornsim analyze`; `popcornsim diff` accepts v1 too.
+   [metrics_only] drops those sections — `popcornsim diff` reads only
+   "metrics", and the result is small enough to commit as the CI
+   regression baseline. *)
+let report_json ?(quick = false) ?(metrics_only = false)
+    (outcomes : outcome list) =
   Obs.Json.Obj
     [
-      ("schema", Obs.Json.Str "popcornsim-bench-v1");
+      ("schema", Obs.Json.Str "popcornsim-bench-v2");
       ("quick", Obs.Json.Bool quick);
-      ("experiments", Obs.Json.Arr (List.map outcome_json outcomes));
+      ( "experiments",
+        Obs.Json.Arr (List.map (outcome_json ~metrics_only) outcomes) );
     ]

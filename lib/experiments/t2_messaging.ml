@@ -15,7 +15,7 @@ let one_way_latency ~bytes ~cross_socket : Time.t =
   let sent_at = ref 0 in
   let fabric =
     Msg.Transport.create m ~ring_slots:64
-      ~handler:(fun _t ~dst:_ ~src:_ -> function
+      ~handler:(fun _t ~dst:_ ~src:_ _delivery -> function
       | Ping _ -> received := Time.sub (Engine.now eng) !sent_at
       | Done -> ())
   in
@@ -35,7 +35,7 @@ let throughput ~senders ~msgs_each ~bytes : float =
   let delivered = ref 0 in
   let fabric =
     Msg.Transport.create m ~ring_slots:256
-      ~handler:(fun _t ~dst:_ ~src:_ -> function
+      ~handler:(fun _t ~dst:_ ~src:_ _delivery -> function
       | Ping _ -> incr delivered
       | Done -> ())
   in

@@ -8,6 +8,7 @@ type t = {
   ipi : Ipi.t;
   mutable metrics : Obs.Metrics.t option;
   mutable spans : Obs.Span.t option;
+  mutable causal : Obs.Causal.t option;
 }
 
 let create ?seed ?(params = Params.default) ?(frames_per_socket = 65536)
@@ -16,10 +17,15 @@ let create ?seed ?(params = Params.default) ?(frames_per_socket = 65536)
   let topo = Topology.create ~sockets ~cores_per_socket in
   let mem = Memory.create topo ~frames_per_socket in
   let ipi = Ipi.create eng params topo in
-  { eng; params; topo; mem; ipi; metrics = None; spans = None }
+  { eng; params; topo; mem; ipi; metrics = None; spans = None; causal = None }
 
-let attach_obs t ?metrics ?spans () =
+let attach_obs t ?metrics ?spans ?causal () =
   (match metrics with Some _ -> t.metrics <- metrics | None -> ());
+  (match causal with
+  | Some c ->
+      Obs.Causal.new_run c;
+      t.causal <- causal
+  | None -> ());
   match spans with
   | Some r ->
       Obs.Span.new_run r;
@@ -39,6 +45,23 @@ let metric_observe t ?kernel name x =
   match t.metrics with
   | None -> ()
   | Some m -> Obs.Metrics.observe m ?kernel name x
+
+let causal_send t ~id ~src ~dst ~bytes ~from_span =
+  match t.causal with
+  | None -> ()
+  | Some c ->
+      Obs.Causal.emit_send c ~id ~src ~dst ~at:(Engine.now t.eng) ~bytes
+        ~from_span
+
+let causal_deliver t ~id ~dst =
+  match t.causal with
+  | None -> ()
+  | Some c -> Obs.Causal.emit_deliver c ~id ~dst ~at:(Engine.now t.eng)
+
+let causal_link t ~id ~span =
+  match t.causal with
+  | None -> ()
+  | Some c -> Obs.Causal.link c ~id ~span
 
 let now t = Engine.now t.eng
 

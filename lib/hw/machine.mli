@@ -12,6 +12,7 @@ type t = {
   ipi : Ipi.t;
   mutable metrics : Obs.Metrics.t option;
   mutable spans : Obs.Span.t option;
+  mutable causal : Obs.Causal.t option;
 }
 
 val create :
@@ -25,17 +26,32 @@ val create :
 (** Build a machine with a fresh engine. [frames_per_socket] defaults to
     65536 (256 MiB of 4 KiB pages per socket). *)
 
-val attach_obs : t -> ?metrics:Obs.Metrics.t -> ?spans:Obs.Span.t -> unit -> unit
+val attach_obs :
+  t ->
+  ?metrics:Obs.Metrics.t ->
+  ?spans:Obs.Span.t ->
+  ?causal:Obs.Causal.t ->
+  unit ->
+  unit
 (** Attach observability to this machine. The messaging layer and OS models
-    consult [metrics]/[spans] on their hot paths; with nothing attached the
-    cost is one [option] check and simulated results are bit-identical.
-    Attaching [spans] also opens a new run in the recorder so repeated boots
-    export to distinct trace tracks. *)
+    consult [metrics]/[spans]/[causal] on their hot paths; with nothing
+    attached the cost is one [option] check and simulated results are
+    bit-identical. Attaching [spans] or [causal] also opens a new run in the
+    recorder so repeated boots export to distinct trace tracks. *)
 
 val metric_incr : t -> ?kernel:int -> string -> unit
 val metric_add : t -> ?kernel:int -> string -> int -> unit
 val metric_observe : t -> ?kernel:int -> string -> float -> unit
 (** No-ops when no metrics registry is attached. *)
+
+val causal_send :
+  t -> id:int -> src:int -> dst:int -> bytes:int -> from_span:int option -> unit
+
+val causal_deliver : t -> id:int -> dst:int -> unit
+
+val causal_link : t -> id:int -> span:int -> unit
+(** Causal-event helpers for the messaging layer and the OS models; no-ops
+    when no {!Obs.Causal.t} recorder is attached. *)
 
 val now : t -> Time.t
 val compute : t -> Time.t -> unit

@@ -8,6 +8,10 @@ type 'a packet = {
   payload : 'a;
   bytes : int;
   seq : int;  (** per-(src,dst) sequence number, for duplicate suppression. *)
+  msg_id : int;  (** unique per transport; keyed into causal events. *)
+  from_span : int option;
+      (** id of the protocol span this message was sent from (trace
+          context carried on the wire), when the sender annotated it. *)
   enqueued_at : Time.t;
   doorbell : Time.t;
       (** IPI delivery latency to charge before processing; non-zero only
@@ -53,12 +57,18 @@ type hooks = {
           packet (kernel stall windows). 0 when the kernel is healthy. *)
 }
 
+(** What the handler learns about the packet beyond src/dst/payload; the
+    msg id keys the delivery into the causal-event log so protocol handlers
+    can link the spans they open back to the message that caused them. *)
+type delivery = { msg_id : int; from_span : int option }
+
 type 'a t = {
   machine : Hw.Machine.t;
   ring_slots : int;
-  handler : 'a t -> dst:node -> src:node -> 'a -> unit;
+  handler : 'a t -> dst:node -> src:node -> delivery -> 'a -> unit;
   endpoints : (node, 'a endpoint) Hashtbl.t;
   seq_tx : (node * node, int) Hashtbl.t;  (** (src,dst) -> last sent seq. *)
+  mutable next_msg_id : int;
   mutable hooks : hooks option;
   mutable st_sent : int;
   mutable st_delivered : int;
@@ -79,6 +89,7 @@ let create machine ~ring_slots ~handler =
     handler;
     endpoints = Hashtbl.create 16;
     seq_tx = Hashtbl.create 64;
+    next_msg_id = 0;
     hooks = None;
     st_sent = 0;
     st_delivered = 0;
@@ -160,10 +171,12 @@ let worker_loop t ep =
       Hw.Machine.metric_incr m ~kernel:ep.node "msg.delivered";
       Hw.Machine.metric_observe m ~kernel:ep.node "msg.latency_ns"
         (float_of_int latency);
+      Hw.Machine.causal_deliver m ~id:pkt.msg_id ~dst:ep.node;
       let src = pkt.src and payload = pkt.payload in
+      let d = { msg_id = pkt.msg_id; from_span = pkt.from_span } in
       (* Fresh fiber per message: handlers may block on nested RPCs. *)
       Engine.spawn eng ~name:(Printf.sprintf "msg-handler-n%d" ep.node)
-        (fun () -> t.handler t ~dst:ep.node ~src payload);
+        (fun () -> t.handler t ~dst:ep.node ~src d payload);
       loop ()
     end
   in
@@ -192,7 +205,8 @@ let next_seq t ~src ~dst =
   seq
 
 (* Ring write + (conditional) doorbell for one packet copy. *)
-let enqueue t ep ~src ~src_core ~bytes ~seq ~extra_delay payload =
+let enqueue t ep ~src ~src_core ~bytes ~seq ~msg_id ~from_span ~extra_delay
+    payload =
   let m = t.machine in
   let eng = m.Hw.Machine.eng in
   let was_idle = ep.worker_idle && Channel.is_empty ep.inbox in
@@ -224,12 +238,14 @@ let enqueue t ep ~src ~src_core ~bytes ~seq ~extra_delay payload =
       payload;
       bytes;
       seq;
+      msg_id;
+      from_span;
       enqueued_at = Engine.now eng;
       doorbell;
       extra_delay;
     }
 
-let send_from_core t ~src ~src_core ~dst ~bytes payload =
+let send_from_core t ?from_span ~src ~src_core ~dst ~bytes payload =
   let m = t.machine in
   let eng = m.Hw.Machine.eng in
   let ep = endpoint t dst in
@@ -246,6 +262,12 @@ let send_from_core t ~src ~src_core ~dst ~bytes payload =
   Hw.Machine.metric_incr m ~kernel:src "msg.sent";
   Hw.Machine.metric_add m ~kernel:src "msg.bytes" bytes;
   let seq = next_seq t ~src ~dst in
+  let msg_id = t.next_msg_id in
+  t.next_msg_id <- msg_id + 1;
+  (* The send event fires even for messages the fault plan then drops: a
+     Send with no matching Deliver is exactly how a loss appears in the
+     causal DAG. *)
+  Hw.Machine.causal_send m ~id:msg_id ~src ~dst ~bytes ~from_span;
   let action =
     match t.hooks with
     | None -> Pass
@@ -259,15 +281,18 @@ let send_from_core t ~src ~src_core ~dst ~bytes payload =
       Hw.Machine.metric_incr m ~kernel:src "msg.dropped"
   | Pass | Duplicate | Delay _ ->
       let extra_delay = match action with Delay d -> d | _ -> Time.zero in
-      enqueue t ep ~src ~src_core ~bytes ~seq ~extra_delay payload;
+      enqueue t ep ~src ~src_core ~bytes ~seq ~msg_id ~from_span ~extra_delay
+        payload;
       if action = Duplicate then begin
         t.st_duplicated <- t.st_duplicated + 1;
         Hw.Machine.metric_incr m ~kernel:src "msg.duplicated";
-        enqueue t ep ~src ~src_core ~bytes ~seq ~extra_delay payload
+        enqueue t ep ~src ~src_core ~bytes ~seq ~msg_id ~from_span
+          ~extra_delay payload
       end
 
-let send t ~src ~dst ~bytes payload =
-  send_from_core t ~src ~src_core:(endpoint t src).core ~dst ~bytes payload
+let send t ?from_span ~src ~dst ~bytes payload =
+  send_from_core t ?from_span ~src ~src_core:(endpoint t src).core ~dst ~bytes
+    payload
 
 let stats t =
   {

@@ -66,14 +66,21 @@ type hooks = {
 val set_hooks : 'a t -> hooks option -> unit
 (** Install (or remove) the fault-injection hook set. *)
 
+type delivery = { msg_id : int; from_span : int option }
+(** Per-packet wire metadata handed to the handler: the message's unique
+    id (keys the delivery into the {!Obs.Causal} event log) and the id of
+    the protocol span the sender annotated it with, if any — the trace
+    context carried in the message, as in the real implementation's
+    per-message header. *)
+
 val create :
   Hw.Machine.t ->
   ring_slots:int ->
-  handler:('a t -> dst:node -> src:node -> 'a -> unit) ->
+  handler:('a t -> dst:node -> src:node -> delivery -> 'a -> unit) ->
   'a t
 (** A fabric with no nodes yet; [ring_slots] bounds each receive ring
     (senders block on a full ring). The handler receives every delivered
-    message. *)
+    message together with its {!delivery} metadata. *)
 
 val add_node : 'a t -> node -> home_core:Hw.Topology.core -> unit
 (** Register a kernel and start its message worker. The home core determines
@@ -83,12 +90,18 @@ val machine : 'a t -> Hw.Machine.t
 val nodes : 'a t -> node list
 val home_core : 'a t -> node -> Hw.Topology.core
 
-val send : 'a t -> src:node -> dst:node -> bytes:int -> 'a -> unit
+val send :
+  'a t -> ?from_span:int -> src:node -> dst:node -> bytes:int -> 'a -> unit
 (** Send; the calling fiber pays the sender-side costs and blocks if the
-    destination ring is full. Delivery is asynchronous. *)
+    destination ring is full. Delivery is asynchronous. Every message gets
+    a transport-unique id; when a causal recorder is attached to the
+    machine, a [Send] event is emitted (a [Deliver] follows at the
+    destination unless the message is lost). [from_span] stamps the
+    message with the protocol span it belongs to. *)
 
 val send_from_core :
   'a t ->
+  ?from_span:int ->
   src:node ->
   src_core:Hw.Topology.core ->
   dst:node ->

@@ -69,7 +69,7 @@ let boot (machine : Hw.Machine.t) : t =
   let sys_ref = ref None in
   let fabric =
     Msg.Transport.create machine ~ring_slots:64
-      ~handler:(fun _t ~dst ~src payload ->
+      ~handler:(fun _t ~dst ~src _delivery payload ->
         let sys = match !sys_ref with Some s -> s | None -> assert false in
         match payload with
         | Spawn_req { ticket; domain_id } ->

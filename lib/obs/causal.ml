@@ -1,0 +1,138 @@
+(* Typed causal events of the messaging layer. Each Transport message gets
+   a unique id per (transport, run); the three event kinds are the edges a
+   happens-before reconstruction needs: a span sent a message (Send,
+   [from_span]), the message reached its destination worker (Deliver), and
+   a span on the destination was opened to handle it (Link). Recording is
+   append-only and allocation-light; like Span, the recorder never touches
+   the engine clock or RNG, so instrumented runs are bit-identical. *)
+
+type event =
+  | Send of {
+      id : int;
+      run : int;
+      src : int;
+      dst : int;
+      at : Sim.Time.t;
+      bytes : int;
+      from_span : int option;
+    }
+  | Deliver of { id : int; run : int; dst : int; at : Sim.Time.t }
+  | Link of { id : int; run : int; span : int }
+
+type t = {
+  mutable run : int; (* bumped per machine boot, mirrors Span.run *)
+  mutable acc : event list; (* newest first; [events] reverses *)
+  mutable count : int;
+}
+
+let create () = { run = -1; acc = []; count = 0 }
+let new_run t = t.run <- t.run + 1
+let run t = Stdlib.max 0 t.run
+
+let push t e =
+  t.acc <- e :: t.acc;
+  t.count <- t.count + 1
+
+let emit_send t ~id ~src ~dst ~at ~bytes ~from_span =
+  push t (Send { id; run = run t; src; dst; at; bytes; from_span })
+
+let emit_deliver t ~id ~dst ~at = push t (Deliver { id; run = run t; dst; at })
+let link t ~id ~span = push t (Link { id; run = run t; span })
+let events t = List.rev t.acc
+let count t = t.count
+
+(* --- JSON (rides in the results document; see DESIGN.md, causal model) --- *)
+
+let opt_int = function None -> Json.Null | Some i -> Json.Int i
+
+let event_json = function
+  | Send { id; run; src; dst; at; bytes; from_span } ->
+      Json.Obj
+        [
+          ("ev", Json.Str "send");
+          ("id", Json.Int id);
+          ("run", Json.Int run);
+          ("src", Json.Int src);
+          ("dst", Json.Int dst);
+          ("at", Json.Int at);
+          ("bytes", Json.Int bytes);
+          ("from_span", opt_int from_span);
+        ]
+  | Deliver { id; run; dst; at } ->
+      Json.Obj
+        [
+          ("ev", Json.Str "deliver");
+          ("id", Json.Int id);
+          ("run", Json.Int run);
+          ("dst", Json.Int dst);
+          ("at", Json.Int at);
+        ]
+  | Link { id; run; span } ->
+      Json.Obj
+        [
+          ("ev", Json.Str "link");
+          ("id", Json.Int id);
+          ("run", Json.Int run);
+          ("span", Json.Int span);
+        ]
+
+let to_json t = Json.Arr (List.map event_json (events t))
+
+(* Tolerant decoding: an analyzer must survive truncated or hand-edited
+   documents, so unknown shapes are skipped rather than fatal. *)
+
+let field k = function Json.Obj fs -> List.assoc_opt k fs | _ -> None
+
+let int_field k j =
+  match field k j with
+  | Some (Json.Int i) -> Some i
+  | Some (Json.Float f) -> Some (int_of_float f)
+  | _ -> None
+
+let event_of_json j =
+  let req k f = Option.bind (int_field k j) f in
+  match field "ev" j with
+  | Some (Json.Str "send") ->
+      req "id" (fun id ->
+          req "src" (fun src ->
+              req "dst" (fun dst ->
+                  req "at" (fun at ->
+                      Some
+                        (Send
+                           {
+                             id;
+                             run = Option.value ~default:0 (int_field "run" j);
+                             src;
+                             dst;
+                             at;
+                             bytes =
+                               Option.value ~default:0 (int_field "bytes" j);
+                             from_span = int_field "from_span" j;
+                           })))))
+  | Some (Json.Str "deliver") ->
+      req "id" (fun id ->
+          req "dst" (fun dst ->
+              req "at" (fun at ->
+                  Some
+                    (Deliver
+                       {
+                         id;
+                         run = Option.value ~default:0 (int_field "run" j);
+                         dst;
+                         at;
+                       }))))
+  | Some (Json.Str "link") ->
+      req "id" (fun id ->
+          req "span" (fun span ->
+              Some
+                (Link
+                   {
+                     id;
+                     run = Option.value ~default:0 (int_field "run" j);
+                     span;
+                   })))
+  | _ -> None
+
+let events_of_json = function
+  | Json.Arr items -> List.filter_map event_of_json items
+  | _ -> []

@@ -1,0 +1,378 @@
+(* Happens-before reconstruction + critical path. See the .mli for the
+   model. Everything is keyed by (run, id): span ids are unique within a
+   recorder but message ids restart per machine boot, and spans parsed
+   back from JSON carry no uniqueness guarantee at all. *)
+
+type ispan = {
+  sid : int;
+  parent : int option;
+  kind : string;
+  kernel : int;
+  tid : int option;
+  run : int;
+  start : int;
+  stop : int;
+}
+
+let ispans_of_recorder rec_ =
+  List.map
+    (fun (s : Span.span) ->
+      {
+        sid = s.Span.id;
+        parent = s.Span.parent;
+        kind = Span.kind_name s.Span.kind;
+        kernel = s.Span.kernel;
+        tid = s.Span.tid;
+        run = s.Span.run;
+        start = s.Span.start;
+        stop = s.Span.stop;
+      })
+    (Span.spans rec_)
+
+let ispans_to_json spans =
+  Json.Arr
+    (List.map
+       (fun s ->
+         Json.Obj
+           ([
+              ("id", Json.Int s.sid);
+              ("kind", Json.Str s.kind);
+              ("kernel", Json.Int s.kernel);
+              ("run", Json.Int s.run);
+              ("start", Json.Int s.start);
+              ("stop", Json.Int s.stop);
+            ]
+           @ (match s.parent with
+             | None -> []
+             | Some p -> [ ("parent", Json.Int p) ])
+           @
+           match s.tid with
+           | None -> []
+           | Some t -> [ ("tid", Json.Int t) ]))
+       spans)
+
+let int_field fields name =
+  match List.assoc_opt name fields with
+  | Some (Json.Int i) -> Some i
+  | Some (Json.Float f) -> Some (int_of_float f)
+  | _ -> None
+
+let str_field fields name =
+  match List.assoc_opt name fields with Some (Json.Str s) -> Some s | _ -> None
+
+let ispans_of_json j =
+  match j with
+  | Json.Arr items ->
+      List.filter_map
+        (function
+          | Json.Obj fields -> (
+              match
+                ( int_field fields "id",
+                  str_field fields "kind",
+                  int_field fields "kernel",
+                  int_field fields "start" )
+              with
+              | Some sid, Some kind, Some kernel, Some start ->
+                  Some
+                    {
+                      sid;
+                      parent = int_field fields "parent";
+                      kind;
+                      kernel;
+                      tid = int_field fields "tid";
+                      run = Option.value (int_field fields "run") ~default:0;
+                      start;
+                      stop = Option.value (int_field fields "stop") ~default:(-1);
+                    }
+              | _ -> None)
+          | _ -> None)
+        items
+  | _ -> []
+
+(* ------------------------------------------------------------------ *)
+(* Indexes over one (spans, causal) data set.                          *)
+(* ------------------------------------------------------------------ *)
+
+type send_rec = { s_src : int; s_dst : int; s_at : int; s_from : int option }
+
+type index = {
+  span_by_id : (int * int, ispan) Hashtbl.t; (* (run, sid) *)
+  children : (int * int, int list) Hashtbl.t; (* (run, sid) -> child sids *)
+  sends : (int * int, send_rec) Hashtbl.t; (* (run, msg id) *)
+  delivers : (int * int, int) Hashtbl.t; (* (run, msg id) -> at *)
+  links : (int * int, int list) Hashtbl.t; (* (run, msg id) -> span sids *)
+  sends_by_span : (int * int, int list) Hashtbl.t; (* (run, sid) -> msg ids *)
+  run_end : (int, int) Hashtbl.t; (* run -> latest timestamp seen *)
+}
+
+let add_multi tbl key v =
+  Hashtbl.replace tbl key (v :: Option.value (Hashtbl.find_opt tbl key) ~default:[])
+
+let build_index ~spans ~causal =
+  let ix =
+    {
+      span_by_id = Hashtbl.create 256;
+      children = Hashtbl.create 256;
+      sends = Hashtbl.create 256;
+      delivers = Hashtbl.create 256;
+      links = Hashtbl.create 64;
+      sends_by_span = Hashtbl.create 64;
+      run_end = Hashtbl.create 4;
+    }
+  in
+  let bump_end run at =
+    let cur = Option.value (Hashtbl.find_opt ix.run_end run) ~default:0 in
+    Hashtbl.replace ix.run_end run (Stdlib.max cur at)
+  in
+  List.iter
+    (fun s ->
+      Hashtbl.replace ix.span_by_id (s.run, s.sid) s;
+      (match s.parent with
+      | Some p -> add_multi ix.children (s.run, p) s.sid
+      | None -> ());
+      bump_end s.run (Stdlib.max s.start s.stop))
+    spans;
+  List.iter
+    (fun (e : Causal.event) ->
+      match e with
+      | Causal.Send { id; run; src; dst; at; from_span; _ } ->
+          if not (Hashtbl.mem ix.sends (run, id)) then
+            Hashtbl.replace ix.sends (run, id)
+              { s_src = src; s_dst = dst; s_at = at; s_from = from_span };
+          (match from_span with
+          | Some sp -> add_multi ix.sends_by_span (run, sp) id
+          | None -> ());
+          bump_end run at
+      | Causal.Deliver { id; run; at; _ } ->
+          (* first delivery wins (duplicates are suppressed downstream) *)
+          if not (Hashtbl.mem ix.delivers (run, id)) then
+            Hashtbl.replace ix.delivers (run, id) at;
+          bump_end run at
+      | Causal.Link { id; run; span } -> add_multi ix.links (run, id) span)
+    causal;
+  ix
+
+let stop_eff ix (s : ispan) =
+  if s.stop >= 0 then s.stop
+  else
+    Stdlib.max s.start
+      (Option.value (Hashtbl.find_opt ix.run_end s.run) ~default:s.start)
+
+(* ------------------------------------------------------------------ *)
+(* Critical path.                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type seg = { label : string; on_wire : bool; seg_start : int; seg_stop : int }
+type path = { root : ispan; total_ns : int; segs : seg list }
+
+(* An interval competing for slices of the root window. Innermost-active
+   wins: latest start first, wire beats the span it was sent from on ties,
+   id as the deterministic tiebreak. *)
+type ival = {
+  i_start : int;
+  i_stop : int;
+  i_wire : bool;
+  i_id : int;
+  i_label : string;
+}
+
+let rank iv = (iv.i_start, (if iv.i_wire then 1 else 0), iv.i_id)
+
+(* Component of the happens-before DAG reachable from [root]: children via
+   parent edges, messages via their sending span, remote spans via Link. *)
+let component ix (root : ispan) =
+  let run = root.run in
+  let comp_spans = Hashtbl.create 64 in
+  let comp_msgs = Hashtbl.create 64 in
+  let pending = Queue.create () in
+  Queue.add (`Span root.sid) pending;
+  while not (Queue.is_empty pending) do
+    match Queue.pop pending with
+    | `Span sid ->
+        if not (Hashtbl.mem comp_spans sid) then begin
+          Hashtbl.replace comp_spans sid ();
+          List.iter
+            (fun c -> Queue.add (`Span c) pending)
+            (Option.value (Hashtbl.find_opt ix.children (run, sid)) ~default:[]);
+          List.iter
+            (fun m -> Queue.add (`Msg m) pending)
+            (Option.value
+               (Hashtbl.find_opt ix.sends_by_span (run, sid))
+               ~default:[])
+        end
+    | `Msg id ->
+        if not (Hashtbl.mem comp_msgs id) then begin
+          Hashtbl.replace comp_msgs id ();
+          List.iter
+            (fun sp -> Queue.add (`Span sp) pending)
+            (Option.value (Hashtbl.find_opt ix.links (run, id)) ~default:[])
+        end
+  done;
+  (comp_spans, comp_msgs)
+
+let critical_path ~spans ~causal ~root =
+  let ix = build_index ~spans ~causal in
+  let run = root.run in
+  let comp_spans, comp_msgs = component ix root in
+  let w_start = root.start and w_stop = stop_eff ix root in
+  let intervals = ref [] in
+  Hashtbl.iter
+    (fun sid () ->
+      match Hashtbl.find_opt ix.span_by_id (run, sid) with
+      | None -> ()
+      | Some s ->
+          intervals :=
+            {
+              i_start = s.start;
+              i_stop = stop_eff ix s;
+              i_wire = false;
+              i_id = sid;
+              i_label = Printf.sprintf "%s@k%d" s.kind s.kernel;
+            }
+            :: !intervals)
+    comp_spans;
+  Hashtbl.iter
+    (fun id () ->
+      match
+        (Hashtbl.find_opt ix.sends (run, id), Hashtbl.find_opt ix.delivers (run, id))
+      with
+      | Some sr, Some d_at when d_at > sr.s_at ->
+          intervals :=
+            {
+              i_start = sr.s_at;
+              i_stop = d_at;
+              i_wire = true;
+              i_id = id;
+              i_label = Printf.sprintf "wire k%d->k%d" sr.s_src sr.s_dst;
+            }
+            :: !intervals
+      | _ -> () (* dropped or instant: time stays with the sender span *))
+    comp_msgs;
+  (* Slice boundaries: every interval edge inside the window. *)
+  let module IS = Set.Make (Int) in
+  let bounds =
+    List.fold_left
+      (fun acc iv ->
+        let acc =
+          if iv.i_start > w_start && iv.i_start < w_stop then
+            IS.add iv.i_start acc
+          else acc
+        in
+        if iv.i_stop > w_start && iv.i_stop < w_stop then IS.add iv.i_stop acc
+        else acc)
+      (IS.of_list [ w_start; w_stop ])
+      !intervals
+  in
+  let bounds = IS.elements bounds in
+  let pick a b =
+    (* Innermost interval covering [a, b); the root always qualifies. *)
+    List.fold_left
+      (fun best iv ->
+        if iv.i_start <= a && iv.i_stop >= b then
+          match best with
+          | Some bv when rank bv >= rank iv -> best
+          | _ -> Some iv
+        else best)
+      None !intervals
+  in
+  let rec slices acc = function
+    | a :: (b :: _ as rest) when a < b -> (
+        match pick a b with
+        | Some iv -> slices ((iv, a, b) :: acc) rest
+        | None -> slices acc rest (* unreachable: root covers the window *))
+    | _ :: rest -> slices acc rest
+    | [] -> List.rev acc
+  in
+  let segs =
+    List.fold_left
+      (fun acc (iv, a, b) ->
+        match acc with
+        | { label; on_wire; seg_stop; seg_start } :: tl
+          when label = iv.i_label && on_wire = iv.i_wire && seg_stop = a ->
+            { label; on_wire; seg_start; seg_stop = b } :: tl
+        | _ ->
+            { label = iv.i_label; on_wire = iv.i_wire; seg_start = a; seg_stop = b }
+            :: acc)
+      []
+      (slices [] bounds)
+  in
+  { root; total_ns = w_stop - w_start; segs = List.rev segs }
+
+let roots ~spans ~kind =
+  List.filter (fun s -> s.parent = None && s.kind = kind) spans
+
+(* ------------------------------------------------------------------ *)
+(* Per-subsystem self time.                                            *)
+(* ------------------------------------------------------------------ *)
+
+let subsystem = function
+  | "migration" | "context_capture" | "transfer" | "import" | "resume" ->
+      "migration"
+  | "page_fault" -> "coherence"
+  | "futex" -> "futex"
+  | "thread_group_create" | "thread_import" -> "thread_group"
+  | "task_list" | "ssi_task_list" -> "ssi"
+  | other -> other
+
+(* Total length of the union of [intervals], each clipped to [lo, hi]. *)
+let union_len ~lo ~hi intervals =
+  let clipped =
+    List.filter_map
+      (fun (a, b) ->
+        let a = Stdlib.max a lo and b = Stdlib.min b hi in
+        if b > a then Some (a, b) else None)
+      intervals
+    |> List.sort compare
+  in
+  let _, total =
+    List.fold_left
+      (fun (edge, total) (a, b) ->
+        if b <= edge then (edge, total)
+        else (b, total + (b - Stdlib.max a edge)))
+      (lo, 0) clipped
+  in
+  total
+
+let self_times ~spans ~causal =
+  let ix = build_index ~spans ~causal in
+  let acc = Hashtbl.create 16 in
+  let add name ns =
+    if ns > 0 then
+      Hashtbl.replace acc name
+        (ns + Option.value (Hashtbl.find_opt acc name) ~default:0)
+  in
+  List.iter
+    (fun s ->
+      let lo = s.start and hi = stop_eff ix s in
+      let child_ivals =
+        List.filter_map
+          (fun c ->
+            Option.map
+              (fun cs -> (cs.start, stop_eff ix cs))
+              (Hashtbl.find_opt ix.span_by_id (s.run, c)))
+          (Option.value (Hashtbl.find_opt ix.children (s.run, s.sid)) ~default:[])
+      in
+      let wire_ivals =
+        List.filter_map
+          (fun id ->
+            match
+              ( Hashtbl.find_opt ix.sends (s.run, id),
+                Hashtbl.find_opt ix.delivers (s.run, id) )
+            with
+            | Some sr, Some d_at when d_at > sr.s_at -> Some (sr.s_at, d_at)
+            | _ -> None)
+          (Option.value
+             (Hashtbl.find_opt ix.sends_by_span (s.run, s.sid))
+             ~default:[])
+      in
+      add (subsystem s.kind)
+        (hi - lo - union_len ~lo ~hi (child_ivals @ wire_ivals)))
+    spans;
+  Hashtbl.iter
+    (fun (run, id) d_at ->
+      match Hashtbl.find_opt ix.sends (run, id) with
+      | Some sr when d_at > sr.s_at -> add "msg" (d_at - sr.s_at)
+      | _ -> ())
+    ix.delivers;
+  Hashtbl.fold (fun name ns l -> (name, ns) :: l) acc []
+  |> List.sort (fun (na, a) (nb, b) -> compare (-a, na) (-b, nb))

@@ -1,10 +1,20 @@
 (** Exporters for recorded observability data. *)
 
 val chrome_trace :
-  ?spans:Span.t list -> ?traces:Sim.Trace.t list -> unit -> Json.t
+  ?spans:Span.t list ->
+  ?causal:Causal.t list ->
+  ?traces:Sim.Trace.t list ->
+  unit ->
+  Json.t
 (** Chrome [trace_event] JSON (load in {{:https://ui.perfetto.dev}Perfetto}
     or [chrome://tracing]). Each span becomes a complete ("X") event on a
     process track named after its (run, kernel) pair, with simulated
-    nanoseconds mapped to trace microseconds; trace-ring entries become
-    global instant ("i") events on pid 0. When several recorders are passed,
-    their run numbers are offset so tracks never collide. *)
+    nanoseconds mapped to trace microseconds; exact-nanosecond
+    [start_ns]/[stop_ns] args let [popcornsim analyze] reconstruct the span
+    forest losslessly. Spans left unclosed by the workload are clamped to
+    the end of their run and flagged with an [unclosed] arg. Causal events
+    become flow events ("s"/"f", cat "causal") linking the sending track to
+    the delivering track, with link records as instants; trace-ring entries
+    become global instant ("i") events on pid 0. When several recorders are
+    passed, their run numbers are offset so tracks never collide; causal
+    recorders pair positionally with span recorders. *)

@@ -74,3 +74,219 @@ let to_file path j =
     (fun () ->
       to_channel oc j;
       output_char oc '\n')
+
+(* --- parsing (for `popcornsim analyze` / `diff`, which read documents the
+   serialiser above wrote). Recursive descent over the full RFC 8259
+   grammar; numbers without '.', 'e' or overflow parse as Int so documents
+   round-trip through the Int/Float split above. --- *)
+
+exception Parse_error of string
+
+type parser_state = { src : string; mutable pos : int }
+
+let parse_fail st msg =
+  raise (Parse_error (Printf.sprintf "%s at byte %d" msg st.pos))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let skip_ws st =
+  while
+    st.pos < String.length st.src
+    && match st.src.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    st.pos <- st.pos + 1
+  done
+
+let expect st c =
+  match peek st with
+  | Some x when x = c -> st.pos <- st.pos + 1
+  | _ -> parse_fail st (Printf.sprintf "expected '%c'" c)
+
+let parse_literal st word value =
+  if
+    st.pos + String.length word <= String.length st.src
+    && String.sub st.src st.pos (String.length word) = word
+  then begin
+    st.pos <- st.pos + String.length word;
+    value
+  end
+  else parse_fail st ("expected " ^ word)
+
+let parse_hex4 st =
+  if st.pos + 4 > String.length st.src then parse_fail st "truncated \\u escape";
+  let v = int_of_string ("0x" ^ String.sub st.src st.pos 4) in
+  st.pos <- st.pos + 4;
+  v
+
+(* Encode a code point as UTF-8 (we only ever *read* what we wrote, which
+   escapes nothing above 0x1f, but accept the full range anyway). *)
+let add_utf8 buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> parse_fail st "unterminated string"
+    | Some '"' -> st.pos <- st.pos + 1
+    | Some '\\' -> (
+        st.pos <- st.pos + 1;
+        match peek st with
+        | Some '"' -> Buffer.add_char buf '"'; st.pos <- st.pos + 1; go ()
+        | Some '\\' -> Buffer.add_char buf '\\'; st.pos <- st.pos + 1; go ()
+        | Some '/' -> Buffer.add_char buf '/'; st.pos <- st.pos + 1; go ()
+        | Some 'b' -> Buffer.add_char buf '\b'; st.pos <- st.pos + 1; go ()
+        | Some 'f' -> Buffer.add_char buf '\012'; st.pos <- st.pos + 1; go ()
+        | Some 'n' -> Buffer.add_char buf '\n'; st.pos <- st.pos + 1; go ()
+        | Some 'r' -> Buffer.add_char buf '\r'; st.pos <- st.pos + 1; go ()
+        | Some 't' -> Buffer.add_char buf '\t'; st.pos <- st.pos + 1; go ()
+        | Some 'u' ->
+            st.pos <- st.pos + 1;
+            let cp = parse_hex4 st in
+            (* Surrogate pair: \uD800-\uDBFF must be followed by a low
+               surrogate; combine them. *)
+            let cp =
+              if cp >= 0xD800 && cp <= 0xDBFF
+                 && st.pos + 6 <= String.length st.src
+                 && st.src.[st.pos] = '\\'
+                 && st.src.[st.pos + 1] = 'u'
+              then begin
+                st.pos <- st.pos + 2;
+                let lo = parse_hex4 st in
+                0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00)
+              end
+              else cp
+            in
+            add_utf8 buf cp;
+            go ()
+        | _ -> parse_fail st "bad escape")
+    | Some c ->
+        Buffer.add_char buf c;
+        st.pos <- st.pos + 1;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char c =
+    match c with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while
+    st.pos < String.length st.src && is_num_char st.src.[st.pos]
+  do
+    st.pos <- st.pos + 1
+  done;
+  let lit = String.sub st.src start (st.pos - start) in
+  let is_float =
+    String.exists (fun c -> c = '.' || c = 'e' || c = 'E') lit
+  in
+  if is_float then
+    match float_of_string_opt lit with
+    | Some f -> Float f
+    | None -> parse_fail st ("bad number " ^ lit)
+  else
+    match int_of_string_opt lit with
+    | Some i -> Int i
+    | None -> (
+        (* Integer literal too large for native int: keep it as a float. *)
+        match float_of_string_opt lit with
+        | Some f -> Float f
+        | None -> parse_fail st ("bad number " ^ lit))
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> parse_fail st "unexpected end of input"
+  | Some '{' ->
+      st.pos <- st.pos + 1;
+      skip_ws st;
+      if peek st = Some '}' then begin
+        st.pos <- st.pos + 1;
+        Obj []
+      end
+      else begin
+        let fields = ref [] in
+        let rec members () =
+          skip_ws st;
+          let k = parse_string st in
+          skip_ws st;
+          expect st ':';
+          let v = parse_value st in
+          fields := (k, v) :: !fields;
+          skip_ws st;
+          match peek st with
+          | Some ',' -> st.pos <- st.pos + 1; members ()
+          | Some '}' -> st.pos <- st.pos + 1
+          | _ -> parse_fail st "expected ',' or '}'"
+        in
+        members ();
+        Obj (List.rev !fields)
+      end
+  | Some '[' ->
+      st.pos <- st.pos + 1;
+      skip_ws st;
+      if peek st = Some ']' then begin
+        st.pos <- st.pos + 1;
+        Arr []
+      end
+      else begin
+        let items = ref [] in
+        let rec elements () =
+          let v = parse_value st in
+          items := v :: !items;
+          skip_ws st;
+          match peek st with
+          | Some ',' -> st.pos <- st.pos + 1; elements ()
+          | Some ']' -> st.pos <- st.pos + 1
+          | _ -> parse_fail st "expected ',' or ']'"
+        in
+        elements ();
+        Arr (List.rev !items)
+      end
+  | Some '"' -> Str (parse_string st)
+  | Some 't' -> parse_literal st "true" (Bool true)
+  | Some 'f' -> parse_literal st "false" (Bool false)
+  | Some 'n' -> parse_literal st "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> parse_fail st (Printf.sprintf "unexpected '%c'" c)
+
+let of_string s =
+  let st = { src = s; pos = 0 } in
+  match parse_value st with
+  | v ->
+      skip_ws st;
+      if st.pos <> String.length s then
+        Error (Printf.sprintf "trailing garbage at byte %d" st.pos)
+      else Ok v
+  | exception Parse_error msg -> Error msg
+  | exception Failure msg -> Error msg (* e.g. malformed \u escape *)
+
+let of_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | s -> of_string s
+  | exception Sys_error msg -> Error msg

@@ -19,3 +19,11 @@ val to_channel : out_channel -> t -> unit
 
 val to_file : string -> t -> unit
 (** Write the document (plus a trailing newline) to [path], truncating. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON document (full RFC 8259 grammar). Numbers without a
+    fraction or exponent that fit a native [int] parse as [Int], everything
+    else as [Float], so documents written by {!to_string} round-trip. *)
+
+val of_file : string -> (t, string) result
+(** {!of_string} over the file's contents; I/O errors become [Error]. *)

@@ -1,6 +1,7 @@
 type t = {
   metrics : Metrics.t;
   spans : Span.t;
+  causal : Causal.t;
   trace : Sim.Trace.t;
 }
 
@@ -8,7 +9,10 @@ let create ?(trace_capacity = 4096) () =
   {
     metrics = Metrics.create ();
     spans = Span.create ();
+    causal = Causal.create ();
     trace = Sim.Trace.create ~capacity:trace_capacity ();
   }
 
-let chrome_trace t = Export.chrome_trace ~spans:[ t.spans ] ~traces:[ t.trace ] ()
+let chrome_trace t =
+  Export.chrome_trace ~spans:[ t.spans ] ~causal:[ t.causal ]
+    ~traces:[ t.trace ] ()

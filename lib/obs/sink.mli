@@ -1,10 +1,12 @@
 (** A sink bundles one of everything the instrumentation can feed: a metrics
-    registry, a span recorder and a bounded trace ring. Create one, attach it
-    to a machine or cluster, run, then export. *)
+    registry, a span recorder, a causal (message send/deliver) event log and
+    a bounded trace ring. Create one, attach it to a machine or cluster,
+    run, then export. *)
 
 type t = {
   metrics : Metrics.t;
   spans : Span.t;
+  causal : Causal.t;
   trace : Sim.Trace.t;
 }
 

@@ -5,13 +5,15 @@ type t = {
   ring : event option array;
   mutable next : int; (* slot for the next event *)
   mutable total : int;
+  mutable retained : int; (* occupied slots, so [count] is O(1) *)
 }
 
 let create ?(capacity = 4096) () =
   assert (capacity > 0);
-  { capacity; ring = Array.make capacity None; next = 0; total = 0 }
+  { capacity; ring = Array.make capacity None; next = 0; total = 0; retained = 0 }
 
 let emit t ~at ~cat msg =
+  if t.ring.(t.next) = None then t.retained <- t.retained + 1;
   t.ring.(t.next) <- Some { at; cat; msg };
   t.next <- (t.next + 1) mod t.capacity;
   t.total <- t.total + 1
@@ -32,15 +34,14 @@ let events ?cat ?prefix t =
   done;
   List.rev !out
 
-let count t =
-  Array.fold_left (fun acc -> function Some _ -> acc + 1 | None -> acc) 0 t.ring
-
+let count t = t.retained
 let total t = t.total
 
 let clear t =
   Array.fill t.ring 0 t.capacity None;
   t.next <- 0;
-  t.total <- 0
+  t.total <- 0;
+  t.retained <- 0
 
 let pp fmt t =
   List.iter

@@ -21,7 +21,8 @@ val events : ?cat:string -> ?prefix:string -> t -> event list
     prefix (both filters apply when both are given). *)
 
 val count : t -> int
-(** Events currently retained (≤ capacity). *)
+(** Events currently retained (≤ capacity); O(1). [total t - count t] is
+    how many events the ring has dropped. *)
 
 val total : t -> int
 (** Events ever emitted (including ones the ring has dropped). *)

@@ -17,7 +17,7 @@ let mk_echo () =
   let rpc : proto Msg.Rpc.t = Msg.Rpc.create eng in
   let fabric_ref = ref None in
   let fabric =
-    Msg.Transport.create m ~ring_slots:16 ~handler:(fun _t ~dst ~src p ->
+    Msg.Transport.create m ~ring_slots:16 ~handler:(fun _t ~dst ~src _d p ->
         let fabric = Option.get !fabric_ref in
         match p with
         | Req { ticket } ->
@@ -103,7 +103,7 @@ let test_duplicate_suppression () =
   let eng = m.Hw.Machine.eng in
   let got = ref 0 in
   let fabric =
-    Msg.Transport.create m ~ring_slots:16 ~handler:(fun _t ~dst:_ ~src:_ p ->
+    Msg.Transport.create m ~ring_slots:16 ~handler:(fun _t ~dst:_ ~src:_ _d p ->
         match p with Ping _ -> incr got | _ -> ())
   in
   Msg.Transport.add_node fabric 0 ~home_core:0;
@@ -131,7 +131,7 @@ let one_ping_arrival ~tweak () =
   let eng = m.Hw.Machine.eng in
   let arrival = ref 0 in
   let fabric =
-    Msg.Transport.create m ~ring_slots:16 ~handler:(fun _t ~dst:_ ~src:_ _ ->
+    Msg.Transport.create m ~ring_slots:16 ~handler:(fun _t ~dst:_ ~src:_ _ _ ->
         arrival := Engine.now eng)
   in
   Msg.Transport.add_node fabric 0 ~home_core:0;

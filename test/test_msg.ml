@@ -11,7 +11,7 @@ let test_transport_delivery () =
   let eng = m.Hw.Machine.eng in
   let got = ref [] in
   let fabric =
-    Msg.Transport.create m ~ring_slots:16 ~handler:(fun _t ~dst ~src p ->
+    Msg.Transport.create m ~ring_slots:16 ~handler:(fun _t ~dst ~src _d p ->
         match p with Ping i -> got := (src, dst, i) :: !got | _ -> ())
   in
   Msg.Transport.add_node fabric 0 ~home_core:0;
@@ -36,7 +36,7 @@ let test_transport_latency_positive () =
   let eng = m.Hw.Machine.eng in
   let arrival = ref 0 in
   let fabric =
-    Msg.Transport.create m ~ring_slots:16 ~handler:(fun _t ~dst:_ ~src:_ _ ->
+    Msg.Transport.create m ~ring_slots:16 ~handler:(fun _t ~dst:_ ~src:_ _ _ ->
         arrival := Engine.now eng)
   in
   Msg.Transport.add_node fabric 0 ~home_core:0;
@@ -54,7 +54,7 @@ let test_transport_backpressure () =
   let eng = m.Hw.Machine.eng in
   let handled = ref 0 in
   let fabric =
-    Msg.Transport.create m ~ring_slots:2 ~handler:(fun _t ~dst:_ ~src:_ _ ->
+    Msg.Transport.create m ~ring_slots:2 ~handler:(fun _t ~dst:_ ~src:_ _ _ ->
         incr handled)
   in
   Msg.Transport.add_node fabric 0 ~home_core:0;
@@ -75,7 +75,7 @@ let test_rpc_roundtrip () =
   let rpc : proto Msg.Rpc.t = Msg.Rpc.create eng in
   let fabric_ref = ref None in
   let fabric =
-    Msg.Transport.create m ~ring_slots:16 ~handler:(fun _t ~dst ~src p ->
+    Msg.Transport.create m ~ring_slots:16 ~handler:(fun _t ~dst ~src _d p ->
         let fabric = Option.get !fabric_ref in
         match p with
         | Req { ticket } ->
@@ -199,7 +199,7 @@ let prop_exactly_once_under_jitter =
       let eng = m.Hw.Machine.eng in
       let got : (int, int list) Hashtbl.t = Hashtbl.create 8 in
       let fabric =
-        Msg.Transport.create m ~ring_slots:8 ~handler:(fun _t ~dst:_ ~src p ->
+        Msg.Transport.create m ~ring_slots:8 ~handler:(fun _t ~dst:_ ~src _d p ->
             match p with
             | Ping i ->
                 let cur =
