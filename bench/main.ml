@@ -11,7 +11,7 @@
 let usage () =
   print_endline
     "usage: main.exe [--exp T1|T2|F1|..|F6] [--quick] [--bechamel] [--list] \
-     [--json FILE]";
+     [--jobs N] [--seed N] [--json FILE]";
   exit 1
 
 (* One Bechamel Test.make per table/figure; measures wall-clock time of a
@@ -22,7 +22,9 @@ let bechamel_mode () =
   let test_of (e : Experiments.Registry.t) =
     Test.make ~name:e.Experiments.Registry.id
       (Staged.stage (fun () ->
-           ignore (e.Experiments.Registry.run ~quick:true ())))
+           ignore
+             (e.Experiments.Registry.run
+                (Experiments.Run_ctx.create ~quick:true ()))))
   in
   let tests =
     Test.make_grouped ~name:"experiments"
@@ -70,19 +72,40 @@ let () =
       | [] -> None
     in
     let json_path = keyed "--json" args in
+    let int_arg key =
+      Option.map
+        (fun v ->
+          match int_of_string_opt v with
+          | Some n -> n
+          | None ->
+              Printf.eprintf "%s expects an integer, got %s\n" key v;
+              usage ())
+        (keyed key args)
+    in
+    (* Experiments are scheduled over --jobs domains (default: host
+       cores); outcomes are printed in registry order and are identical
+       to a serial run. *)
+    let jobs = int_arg "--jobs" in
+    let seed =
+      Option.value (int_arg "--seed") ~default:Experiments.Run_ctx.default_seed
+    in
     (* Observability is on iff the results are being exported; plain table
        runs stay instrumentation-free. *)
     let observe = json_path <> None in
     let outcomes =
       match keyed "--exp" args with
-      | None -> Experiments.Registry.run_all ~quick ~observe ()
+      | None -> Experiments.Registry.run_all ~quick ~observe ~seed ?jobs ()
       | Some id -> (
           match Experiments.Registry.find id with
-          | Some e -> [ Experiments.Registry.run_one ~quick ~observe e ]
+          | Some e -> [ Experiments.Registry.run_one ~quick ~observe ~seed e ]
           | None ->
               Printf.eprintf "unknown experiment id: %s\n" id;
               usage ())
     in
+    List.iter
+      (fun (o : Experiments.Registry.outcome) -> print_string o.output)
+      outcomes;
+    flush stdout;
     match json_path with
     | None -> ()
     | Some path ->

@@ -9,9 +9,12 @@
      analyze <file>     causal / critical-path report over exported results
      diff <old> <new>   compare two results files metric-by-metric
 
-   `run` and `all` accept --json FILE (machine-readable results + metrics)
-   and --trace-out FILE (Chrome trace_event JSON of the migration-protocol
-   spans; load it at https://ui.perfetto.dev). `analyze` reads either file
+   `run` and `all` accept --seed N (machine seed; default 42), --json FILE
+   (machine-readable results + metrics) and --trace-out FILE (Chrome
+   trace_event JSON of the migration-protocol spans; load it at
+   https://ui.perfetto.dev). `all` also accepts --jobs N: experiments are
+   scheduled over N domains (default: host cores) with results identical to
+   a serial run and printed in registry order. `analyze` reads either file
    kind; `diff --fail-on-regress PCT` exits 3 on regression (the CI gate). *)
 
 open Cmdliner
@@ -26,6 +29,25 @@ let experiment_ids =
 let quick =
   let doc = "Shrink parameter sweeps for a fast run." in
   Arg.(value & flag & info [ "quick" ] ~doc)
+
+let seed =
+  let doc =
+    "Seed for every machine an experiment boots (the simulation is \
+     deterministic: one seed, one result)."
+  in
+  Arg.(
+    value
+    & opt int Experiments.Run_ctx.default_seed
+    & info [ "seed" ] ~docv:"N" ~doc)
+
+let jobs =
+  let doc =
+    "Run up to $(docv) experiments concurrently on separate domains \
+     (default: host cores). Results are identical to $(b,--jobs 1) — every \
+     experiment owns its context, sink and machines — and are printed in \
+     registry order."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs" ] ~docv:"N" ~doc)
 
 let json_out =
   let doc = "Write machine-readable results (tables + metrics) to $(docv)." in
@@ -95,28 +117,43 @@ let run_cmd =
     let doc = Printf.sprintf "Experiment id (%s)." experiment_ids in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
   in
-  let run id quick json trace baseline =
+  let run id quick seed jobs json trace baseline =
+    (* A single experiment occupies one domain; --jobs is accepted for
+       symmetry with `all` (scripts can pass it to either subcommand). *)
+    ignore (jobs : int option);
     match Experiments.Registry.find id with
     | Some e ->
         let observe = json <> None || trace <> None || baseline <> None in
-        let o = Experiments.Registry.run_one ~quick ~observe e in
+        let o = Experiments.Registry.run_one ~quick ~observe ~seed e in
+        print_string o.Experiments.Registry.output;
+        flush stdout;
         export ~quick [ o ] json trace baseline;
         `Ok ()
     | None -> `Error (false, "unknown experiment id: " ^ id)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one experiment and print its tables.")
-    Term.(ret (const run $ id $ quick $ json_out $ trace_out $ baseline_out))
+    Term.(
+      ret
+        (const run $ id $ quick $ seed $ jobs $ json_out $ trace_out
+       $ baseline_out))
 
 (* --- all --- *)
 
 let all_cmd =
-  let run quick json trace baseline =
+  let run quick seed jobs json trace baseline =
     let observe = json <> None || trace <> None || baseline <> None in
-    let outcomes = Experiments.Registry.run_all ~quick ~observe () in
+    let outcomes =
+      Experiments.Registry.run_all ~quick ~observe ~seed ?jobs ()
+    in
+    List.iter
+      (fun (o : Experiments.Registry.outcome) -> print_string o.output)
+      outcomes;
+    flush stdout;
     export ~quick outcomes json trace baseline
   in
   Cmd.v (Cmd.info "all" ~doc:"Run every experiment.")
-    Term.(const run $ quick $ json_out $ trace_out $ baseline_out)
+    Term.(
+      const run $ quick $ seed $ jobs $ json_out $ trace_out $ baseline_out)
 
 (* --- demo --- *)
 

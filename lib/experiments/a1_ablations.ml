@@ -15,11 +15,11 @@ module K = Kernelmodel
 let page = 4096
 
 (* Remote create latency with/without the dummy pool. *)
-let remote_create_latency ~use_pool =
+let remote_create_latency ctx ~use_pool =
   let opts = { Types.default_options with Types.use_dummy_pool = use_pool } in
   let result = ref 0 in
   ignore
-    (Common.run_popcorn ~opts (fun cluster th ->
+    (Common.run_popcorn ctx ~opts (fun cluster th ->
          (* Warm the replica so only task acquisition differs. *)
          ignore (Api.spawn th ~target:8 (fun c -> Api.compute c (Sim.Time.us 1)));
          Api.compute th (Sim.Time.us 100);
@@ -32,13 +32,13 @@ let remote_create_latency ~use_pool =
 (* N kernels re-reading one hot page after each origin write. With
    replication each reader keeps a copy; without, the page bounces
    exclusively between readers. *)
-let hot_page_read_time ~replication =
+let hot_page_read_time ctx ~replication =
   let opts =
     { Types.default_options with Types.read_replication = replication }
   in
   let result = ref 0 in
   ignore
-    (Common.run_popcorn ~opts (fun cluster th ->
+    (Common.run_popcorn ctx ~opts (fun cluster th ->
          let eng = Types.eng cluster in
          let vma =
            match Api.mmap th ~len:page ~prot:K.Vma.prot_rw with
@@ -65,13 +65,13 @@ let hot_page_read_time ~replication =
   float_of_int !result
 
 (* Migration + post-migration working-set touch, with/without prefetch. *)
-let migration_and_touch ~prefetch =
+let migration_and_touch ctx ~prefetch =
   let opts =
     { Types.default_options with Types.migration_prefetch = prefetch }
   in
   let mig = ref 0 and touch = ref 0 in
   ignore
-    (Common.run_popcorn ~opts (fun cluster th ->
+    (Common.run_popcorn ctx ~opts (fun cluster th ->
          let eng = Types.eng cluster in
          let vma =
            match Api.mmap th ~len:(8 * page) ~prot:K.Vma.prot_rw with
@@ -94,8 +94,10 @@ let migration_and_touch ~prefetch =
          touch := Sim.Engine.now eng - t0));
   (float_of_int !mig, float_of_int !touch)
 
-let run ?(quick = false) () =
-  ignore quick;
+let run (ctx : Run_ctx.t) =
+  let remote_create_latency = remote_create_latency ctx
+  and hot_page_read_time = hot_page_read_time ctx
+  and migration_and_touch = migration_and_touch ctx in
   let t =
     Stats.Table.create ~title:"A1: design-choice ablations"
       ~columns:[ "mechanism"; "metric"; "enabled"; "disabled"; "ratio" ]

@@ -12,16 +12,17 @@ module P = Workloads.Loads.Make (Workloads.Adapters.Popcorn_os)
 let workers = 64
 let iters ~quick = if quick then 20 else 60
 
-let run_app ~kernels ~quick app =
+let run_app ctx ~kernels ~quick app =
   let i = iters ~quick in
-  Common.run_popcorn ~kernels (fun cluster th ->
+  Common.run_popcorn ctx ~kernels (fun cluster th ->
       let eng = Popcorn.Types.eng cluster in
       match app with
       | `Mm -> P.app_mm_bound eng th ~workers ~iters:i
       | `Sync -> P.app_sync_bound eng th ~workers ~iters:i
       | `Cpu -> P.app_cpu_bound eng th ~workers ~iters:i)
 
-let run ?(quick = false) () =
+let run (ctx : Run_ctx.t) =
+  let quick = ctx.Run_ctx.quick in
   let t =
     Stats.Table.create
       ~title:
@@ -35,7 +36,7 @@ let run ?(quick = false) () =
       let work = workers * iters ~quick in
       let rate app =
         Stats.Table.fmt_rate
-          (Common.ops_per_sec ~ops:work ~elapsed:(run_app ~kernels ~quick app))
+          (Common.ops_per_sec ~ops:work ~elapsed:(run_app ctx ~kernels ~quick app))
       in
       Stats.Table.add_row t
         [

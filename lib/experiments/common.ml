@@ -2,7 +2,10 @@
 
     Every data point boots a fresh machine (64 cores: 4 sockets x 16, the
     class of box the paper evaluates on) and a fresh OS instance, runs the
-    workload inside the simulation, and reports simulated time. *)
+    workload inside the simulation, and reports simulated time.
+
+    All helpers take the run's [Run_ctx.t] explicitly — there is no ambient
+    state here, so independent runs can execute on different [Domain]s. *)
 
 open Sim
 
@@ -14,17 +17,10 @@ let total_cores = sockets * cores_per_socket
     x 4 cores. (T1/F4 use smaller explicit configs.) *)
 let default_kernels = 16
 
-(* When set ([set_sink], used by the CLI/bench --json and --trace-out
-   paths), every machine an experiment boots gets the sink's registry and
-   span recorder attached, and Popcorn clusters additionally get the trace
-   ring and per-kernel rpc.* routing. One experiment may boot many machines;
-   they share the sink (the span recorder separates them by run). *)
-let sink : Obs.Sink.t option ref = ref None
-let set_sink s = sink := s
-
-let machine ?(seed = 42) () =
+let machine (ctx : Run_ctx.t) ?seed () =
+  let seed = Option.value seed ~default:ctx.Run_ctx.seed in
   let m = Hw.Machine.create ~seed ~sockets ~cores_per_socket () in
-  (match !sink with
+  (match ctx.Run_ctx.sink with
   | None -> ()
   | Some s ->
       Hw.Machine.attach_obs m ~metrics:s.Obs.Sink.metrics
@@ -33,13 +29,14 @@ let machine ?(seed = 42) () =
 
 (** Run [f cluster root_thread] as the main thread of a fresh process on a
     fresh Popcorn cluster; returns the simulated duration of [f]. *)
-let run_popcorn ?seed ?opts ?(kernels = default_kernels) f : Time.t =
-  let m = machine ?seed () in
+let run_popcorn (ctx : Run_ctx.t) ?seed ?opts ?(kernels = default_kernels) f :
+    Time.t =
+  let m = machine ctx ?seed () in
   let cluster =
     Popcorn.Cluster.boot ?opts m ~kernels
       ~cores_per_kernel:(total_cores / kernels)
   in
-  (match !sink with
+  (match ctx.Run_ctx.sink with
   | None -> ()
   | Some s ->
       (* The machine already has metrics+spans; route the cluster-level
@@ -59,8 +56,8 @@ let run_popcorn ?seed ?opts ?(kernels = default_kernels) f : Time.t =
   !elapsed
 
 (** Same shape for the SMP-Linux model. *)
-let run_smp ?seed f : Time.t =
-  let m = machine ?seed () in
+let run_smp (ctx : Run_ctx.t) ?seed f : Time.t =
+  let m = machine ctx ?seed () in
   let sys = Smp.Smp_os.boot m in
   let eng = m.Hw.Machine.eng in
   let elapsed = ref (-1) in
@@ -76,8 +73,8 @@ let run_smp ?seed f : Time.t =
 
 (** Multikernel: [f sys ~on_done] must eventually call [on_done]; elapsed
     is measured from boot of the domain to [on_done]. *)
-let run_mk ?seed f : Time.t =
-  let m = machine ?seed () in
+let run_mk (ctx : Run_ctx.t) ?seed f : Time.t =
+  let m = machine ctx ?seed () in
   let sys = Multikernel.boot m in
   let eng = m.Hw.Machine.eng in
   let elapsed = ref (-1) in
@@ -96,5 +93,5 @@ let ops_per_sec ~ops ~elapsed =
 let ns f = float_of_int (f : Time.t)
 
 (** Worker-count sweep used by the scalability figures. *)
-let sweep ~quick =
-  if quick then [ 1; 4; 16 ] else [ 1; 2; 4; 8; 16; 32; 64 ]
+let sweep (ctx : Run_ctx.t) =
+  if ctx.Run_ctx.quick then [ 1; 4; 16 ] else [ 1; 2; 4; 8; 16; 32; 64 ]

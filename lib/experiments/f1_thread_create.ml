@@ -11,10 +11,10 @@ open Sim
 let park_addr i = 0x800000 + (i * 64)
 
 (* Group of [m] parked members, then time one creation. *)
-let popcorn_case ~m ~mode : Time.t =
+let popcorn_case ctx ~m ~mode : Time.t =
   let result = ref 0 in
   ignore
-    (Common.run_popcorn ~kernels:16 (fun _cluster th ->
+    (Common.run_popcorn ctx ~kernels:16 (fun _cluster th ->
          let open Popcorn in
          for i = 1 to m do
            (* Spread pre-existing members over the first 8 kernels. *)
@@ -39,10 +39,10 @@ let popcorn_case ~m ~mode : Time.t =
          done));
   !result
 
-let smp_case ~m : Time.t =
+let smp_case ctx ~m : Time.t =
   let result = ref 0 in
   ignore
-    (Common.run_smp (fun sys th ->
+    (Common.run_smp ctx (fun sys th ->
          let open Smp in
          for i = 1 to m do
            ignore
@@ -59,7 +59,9 @@ let smp_case ~m : Time.t =
          done));
   !result
 
-let run ?(quick = false) () =
+let run (ctx : Run_ctx.t) =
+  let quick = ctx.Run_ctx.quick in
+  let popcorn_case = popcorn_case ctx and smp_case = smp_case ctx in
   let t =
     Stats.Table.create
       ~title:"F1: thread creation latency vs existing group size"

@@ -10,22 +10,23 @@ module S = Workloads.Loads.Make (Workloads.Adapters.Smp_os)
 
 let per_spawner = 50
 
-let popcorn n =
-  Common.run_popcorn (fun cluster th ->
+let popcorn ctx n =
+  Common.run_popcorn ctx (fun cluster th ->
       P.spawn_storm (Popcorn.Types.eng cluster) th ~spawners:n ~per_spawner)
 
-let smp n =
-  Common.run_smp (fun sys th ->
+let smp ctx n =
+  Common.run_smp ctx (fun sys th ->
       S.spawn_storm (Smp.Smp_os.eng sys) th ~spawners:n ~per_spawner)
 
-let mk n =
-  Common.run_mk (fun sys ~on_done ->
+let mk ctx n =
+  Common.run_mk ctx (fun sys ~on_done ->
       ignore
         (Workloads.Mk_workloads.spawn_storm sys
            sys.Multikernel.machine.Hw.Machine.eng ~cores:Common.total_cores
            ~spawners:n ~per_spawner ~on_done))
 
-let run ?(quick = false) () =
+let run (ctx : Run_ctx.t) =
+  let popcorn = popcorn ctx and smp = smp ctx and mk = mk ctx in
   let t =
     Stats.Table.create
       ~title:
@@ -38,5 +39,5 @@ let run ?(quick = false) () =
       let rate f = Stats.Table.fmt_rate (Common.ops_per_sec ~ops ~elapsed:(f n)) in
       Stats.Table.add_row t
         [ string_of_int n; rate smp; rate popcorn; rate mk ])
-    (Common.sweep ~quick);
+    (Common.sweep ctx);
   [ t ]

@@ -13,15 +13,16 @@ module S = Workloads.Loads.Make (Workloads.Adapters.Smp_os)
 let ops = 50
 let pages = 4
 
-let popcorn ?kernels n =
-  Common.run_popcorn ?kernels (fun cluster th ->
+let popcorn ctx ?kernels n =
+  Common.run_popcorn ctx ?kernels (fun cluster th ->
       P.mmap_stress (Popcorn.Types.eng cluster) th ~workers:n ~ops ~pages)
 
-let smp n =
-  Common.run_smp (fun sys th ->
+let smp ctx n =
+  Common.run_smp ctx (fun sys th ->
       S.mmap_stress (Smp.Smp_os.eng sys) th ~workers:n ~ops ~pages)
 
-let run ?(quick = false) () =
+let run (ctx : Run_ctx.t) =
+  let popcorn = popcorn ctx and smp = smp ctx in
   let t =
     Stats.Table.create
       ~title:"F3: mmap+touch+munmap cycles/s vs concurrent threads"
@@ -41,5 +42,5 @@ let run ?(quick = false) () =
           rate (popcorn ~kernels:16);
           rate (popcorn ~kernels:1);
         ])
-    (Common.sweep ~quick);
+    (Common.sweep ctx);
   [ t ]

@@ -39,12 +39,12 @@ type results = {
   mutable upgrade : float;
 }
 
-let popcorn_cases () =
+let popcorn_cases ctx () =
   let r =
     { local_touch = 0.; remote_touch = 0.; remote_read_dirty = 0.; upgrade = 0. }
   in
   ignore
-    (Common.run_popcorn ~kernels:16 (fun cluster th ->
+    (Common.run_popcorn ctx ~kernels:16 (fun cluster th ->
          let eng = Types.eng cluster in
          let map () =
            match Api.mmap th ~len:(pages * page) ~prot:Kernelmodel.Vma.prot_rw with
@@ -71,10 +71,10 @@ let popcorn_cases () =
          r.upgrade <- per_page eng (fun () -> write_all th c)));
   r
 
-let smp_local_touch () =
+let smp_local_touch ctx () =
   let result = ref 0. in
   ignore
-    (Common.run_smp (fun sys th ->
+    (Common.run_smp ctx (fun sys th ->
          let eng = Smp.Smp_os.eng sys in
          let base =
            match Smp.Smp_api.mmap th ~len:(pages * page) ~prot:Kernelmodel.Vma.prot_rw with
@@ -92,10 +92,10 @@ let smp_local_touch () =
 
 (* Invalidation fan-out: [readers] kernels replicate a page, then the
    origin writes it. *)
-let invalidation_cost ~readers =
+let invalidation_cost ctx ~readers =
   let result = ref 0. in
   ignore
-    (Common.run_popcorn ~kernels:16 (fun cluster th ->
+    (Common.run_popcorn ctx ~kernels:16 (fun cluster th ->
          let eng = Types.eng cluster in
          let base =
            match Api.mmap th ~len:page ~prot:Kernelmodel.Vma.prot_rw with
@@ -118,14 +118,15 @@ let invalidation_cost ~readers =
          result := float_of_int (Time.sub (Engine.now eng) t0)));
   !result
 
-let run ?(quick = false) () =
-  let r = popcorn_cases () in
+let run (ctx : Run_ctx.t) =
+  let quick = ctx.Run_ctx.quick in
+  let r = popcorn_cases ctx () in
   let t =
     Stats.Table.create ~title:"F4a: page-fault service latency (per page)"
       ~columns:[ "fault class"; "latency" ]
   in
   let add name v = Stats.Table.add_row t [ name; Stats.Table.fmt_ns v ] in
-  add "SMP local first touch" (smp_local_touch ());
+  add "SMP local first touch" (smp_local_touch ctx ());
   add "Popcorn local first touch (origin)" r.local_touch;
   add "Popcorn remote first touch" r.remote_touch;
   add "Popcorn remote read of dirty page" r.remote_read_dirty;
@@ -141,7 +142,7 @@ let run ?(quick = false) () =
       Stats.Table.add_row inval
         [
           string_of_int readers;
-          Stats.Table.fmt_ns (invalidation_cost ~readers);
+          Stats.Table.fmt_ns (invalidation_cost ctx ~readers);
         ])
     counts;
   [ t; inval ]

@@ -11,10 +11,10 @@ module S = Workloads.Loads.Make (Workloads.Adapters.Smp_os)
 let addr = 0x800000
 
 (* Latency from the wake syscall to the waiter actually resuming. *)
-let popcorn_wake_latency ~remote : float =
+let popcorn_wake_latency ctx ~remote : float =
   let result = ref 0. in
   ignore
-    (Common.run_popcorn ~kernels:16 (fun cluster th ->
+    (Common.run_popcorn ctx ~kernels:16 (fun cluster th ->
          let open Popcorn in
          let eng = Types.eng cluster in
          let woke_at = ref 0 in
@@ -39,10 +39,10 @@ let popcorn_wake_latency ~remote : float =
          result := float_of_int (Time.sub !woke_at t0)));
   !result
 
-let smp_wake_latency () : float =
+let smp_wake_latency ctx () : float =
   let result = ref 0. in
   ignore
-    (Common.run_smp (fun sys th ->
+    (Common.run_smp ctx (fun sys th ->
          let open Smp in
          let eng = Smp_os.eng sys in
          let woke_at = ref 0 in
@@ -68,15 +68,20 @@ let smp_wake_latency () : float =
 
 let rounds = 50
 
-let popcorn_pingpong pairs =
-  Common.run_popcorn (fun cluster th ->
+let popcorn_pingpong ctx pairs =
+  Common.run_popcorn ctx (fun cluster th ->
       P.futex_pingpong (Popcorn.Types.eng cluster) th ~pairs ~rounds)
 
-let smp_pingpong pairs =
-  Common.run_smp (fun sys th ->
+let smp_pingpong ctx pairs =
+  Common.run_smp ctx (fun sys th ->
       S.futex_pingpong (Smp.Smp_os.eng sys) th ~pairs ~rounds)
 
-let run ?(quick = false) () =
+let run (ctx : Run_ctx.t) =
+  let quick = ctx.Run_ctx.quick in
+  let popcorn_wake_latency = popcorn_wake_latency ctx
+  and smp_wake_latency = smp_wake_latency ctx
+  and popcorn_pingpong = popcorn_pingpong ctx
+  and smp_pingpong = smp_pingpong ctx in
   let lat =
     Stats.Table.create ~title:"F5a: futex wake-to-resume latency"
       ~columns:[ "configuration"; "latency" ]

@@ -19,9 +19,9 @@ let app_name = function
 
 let iters ~quick = if quick then 20 else 100
 
-let popcorn app ~quick n =
+let popcorn ctx app ~quick n =
   let i = iters ~quick in
-  Common.run_popcorn (fun cluster th ->
+  Common.run_popcorn ctx (fun cluster th ->
       let eng = Popcorn.Types.eng cluster in
       match app with
       | Cpu -> P.app_cpu_bound eng th ~workers:n ~iters:i
@@ -29,9 +29,9 @@ let popcorn app ~quick n =
       | Sync -> P.app_sync_bound eng th ~workers:n ~iters:i
       | Comm -> P.app_comm_bound eng th ~workers:n ~iters:i)
 
-let smp app ~quick n =
+let smp ctx app ~quick n =
   let i = iters ~quick in
-  Common.run_smp (fun sys th ->
+  Common.run_smp ctx (fun sys th ->
       let eng = Smp.Smp_os.eng sys in
       match app with
       | Cpu -> S.app_cpu_bound eng th ~workers:n ~iters:i
@@ -39,9 +39,9 @@ let smp app ~quick n =
       | Sync -> S.app_sync_bound eng th ~workers:n ~iters:i
       | Comm -> S.app_comm_bound eng th ~workers:n ~iters:i)
 
-let mk app ~quick n =
+let mk ctx app ~quick n =
   let i = iters ~quick in
-  Common.run_mk (fun sys ~on_done ->
+  Common.run_mk ctx (fun sys ~on_done ->
       let eng = sys.Multikernel.machine.Hw.Machine.eng in
       let cores = Common.total_cores in
       match app with
@@ -50,7 +50,8 @@ let mk app ~quick n =
       | Sync -> ignore (Mk.app_sync_bound sys eng ~cores ~workers:n ~iters:i ~on_done)
       | Comm -> ignore (Mk.app_comm_bound sys eng ~cores ~workers:n ~iters:i ~on_done))
 
-let table app ~quick =
+let table ctx app ~quick =
+  let popcorn = popcorn ctx and smp = smp ctx and mk = mk ctx in
   let t =
     Stats.Table.create
       ~title:
@@ -74,8 +75,14 @@ let table app ~quick =
           Stats.Table.fmt_rate m;
           (if s > 0. then Printf.sprintf "%.2fx" (p /. s) else "-");
         ])
-    (Common.sweep ~quick);
+    (Common.sweep ctx);
   t
 
-let run ?(quick = false) () =
-  [ table Cpu ~quick; table Mm ~quick; table Sync ~quick; table Comm ~quick ]
+let run (ctx : Run_ctx.t) =
+  let quick = ctx.Run_ctx.quick in
+  [
+    table ctx Cpu ~quick;
+    table ctx Mm ~quick;
+    table ctx Sync ~quick;
+    table ctx Comm ~quick;
+  ]

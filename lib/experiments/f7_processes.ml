@@ -19,9 +19,9 @@ let child_body read_ write_ mmap_ munmap_ th =
       (match read_ th start with Ok _ -> () | Error e -> failwith e);
       (match munmap_ th start with Ok () -> () | Error e -> failwith e)
 
-let popcorn n =
+let popcorn ctx n =
   let opts = { Popcorn.Types.default_options with Popcorn.Types.reap_on_exit = true } in
-  Common.run_popcorn ~opts (fun cluster th ->
+  Common.run_popcorn ctx ~opts (fun cluster th ->
       let open Popcorn in
       let eng = Types.eng cluster in
       let latch = Workloads.Latch.create eng n in
@@ -46,8 +46,8 @@ let popcorn n =
       done;
       Workloads.Latch.wait latch)
 
-let smp n =
-  Common.run_smp (fun sys th ->
+let smp ctx n =
+  Common.run_smp ctx (fun sys th ->
       let open Smp in
       let eng = Smp_os.eng sys in
       let latch = Workloads.Latch.create eng n in
@@ -72,7 +72,8 @@ let smp n =
       done;
       Workloads.Latch.wait latch)
 
-let run ?(quick = false) () =
+let run (ctx : Run_ctx.t) =
+  let popcorn = popcorn ctx and smp = smp ctx in
   let t =
     Stats.Table.create
       ~title:"F7: process lifecycles/s (fork+map+touch+exit) vs forkers"
@@ -90,5 +91,5 @@ let run ?(quick = false) () =
           Stats.Table.fmt_rate p;
           Printf.sprintf "%.2fx" (p /. s);
         ])
-    (Common.sweep ~quick);
+    (Common.sweep ctx);
   [ t ]

@@ -31,14 +31,15 @@ type cell = {
    every worker exists (spawn is not retry-protected) and closes before
    group teardown. Deterministic: same (plan_seed, rate, policy) gives the
    identical schedule and the identical cell. *)
-let run_cell ?(kernels = 4) ~workers ~migrations ~rate ~policy ~plan_seed () :
+let run_cell ctx ?(kernels = 4) ~workers ~migrations ~rate ~policy ~plan_seed
+    () :
     cell =
   let attempts = ref 0 and ok = ref 0 and fallbacks = ref 0 in
   let lat = Stats.Histogram.create () in
   let retried = ref 0 and gave_up = ref 0 and injected = ref 0 in
   let opts = { P.default_options with P.migration_retry = Some policy } in
   ignore
-    (Common.run_popcorn ~opts ~kernels (fun cluster th ->
+    (Common.run_popcorn ctx ~opts ~kernels (fun cluster th ->
          let eng = P.eng cluster in
          let plan = Inject.Plan.create ~seed:plan_seed eng in
          Inject.Plan.attach plan cluster.P.fabric;
@@ -122,7 +123,8 @@ let policies =
       } );
   ]
 
-let run ?(quick = false) () =
+let run (ctx : Run_ctx.t) =
+  let quick = ctx.Run_ctx.quick in
   let rates = if quick then [ 0.0; 0.1 ] else [ 0.0; 0.02; 0.05; 0.1; 0.2 ] in
   let workers = if quick then 8 else 16 in
   let migrations = if quick then 10 else 25 in
@@ -153,7 +155,8 @@ let run ?(quick = false) () =
       List.iter
         (fun (pname, policy) ->
           let c =
-            run_cell ~workers ~migrations ~rate ~policy ~plan_seed:1337 ()
+            run_cell ctx ~workers ~migrations ~rate ~policy ~plan_seed:1337
+              ()
           in
           Stats.Table.add_row t
             [

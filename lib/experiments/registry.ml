@@ -3,7 +3,7 @@
 type t = {
   id : string;
   title : string;
-  run : ?quick:bool -> unit -> Stats.Table.t list;
+  run : Run_ctx.t -> Stats.Table.t list;
 }
 
 let all : t list =
@@ -71,23 +71,26 @@ let find id =
   List.find_opt (fun e -> String.lowercase_ascii e.id = String.lowercase_ascii id) all
 
 (** Everything one experiment run produced: its tables, the host wall-clock
-    it took, and (when [observe] was on) the observability sink that was
-    live during the run. *)
+    of the experiment body alone (sink post-processing and rendering are
+    excluded), the observability sink that was live during the run (when
+    [observe] was on), and the fully rendered textual output. [run_one]
+    never prints — callers decide when to emit [output], which is what lets
+    [run_all] overlap experiment execution while still presenting results
+    in registry order. *)
 type outcome = {
   spec : t;
   host_ms : float;
   tables : Stats.Table.t list;
   sink : Obs.Sink.t option;
+  output : string;
 }
 
-let run_one ?quick ?(observe = false) (e : t) : outcome =
-  Printf.printf "\n### %s — %s\n\n%!" e.id e.title;
+let run_one ?(quick = false) ?(observe = false) ?seed (e : t) : outcome =
   let sink = if observe then Some (Obs.Sink.create ()) else None in
-  Common.set_sink sink;
+  let ctx = Run_ctx.create ?sink ?seed ~quick () in
   let t0 = Unix.gettimeofday () in
-  let tables = e.run ?quick () in
+  let tables = e.run ctx in
   let host_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
-  Common.set_sink None;
   (* Instrumentation-health metrics, recorded after the run so they see
      the final state: spans the workload never closed (analysis clamps
      them to end-of-run) and trace-ring events evicted by the capacity
@@ -105,16 +108,53 @@ let run_one ?quick ?(observe = false) (e : t) : outcome =
       Obs.Metrics.add s.Obs.Sink.metrics "spans.unclosed" unclosed;
       Obs.Metrics.add s.Obs.Sink.metrics "trace.dropped"
         (Sim.Trace.total s.Obs.Sink.trace - Sim.Trace.count s.Obs.Sink.trace));
+  let b = Buffer.create 4096 in
+  Printf.bprintf b "\n### %s — %s\n\n" e.id e.title;
+  Buffer.add_string b (Run_ctx.output ctx);
   List.iter
     (fun t ->
-      print_string (Stats.Table.render t);
-      print_newline ())
+      Buffer.add_string b (Stats.Table.render t);
+      Buffer.add_char b '\n')
     tables;
-  Printf.printf "(%s: %.0f ms host time)\n%!" e.id host_ms;
-  { spec = e; host_ms; tables; sink }
+  Printf.bprintf b "(%s: %.0f ms host time)\n" e.id host_ms;
+  { spec = e; host_ms; tables; sink; output = Buffer.contents b }
 
-let run_all ?quick ?observe () : outcome list =
-  List.map (run_one ?quick ?observe) all
+(** Parallel suite runner. Experiments are independent by construction
+    (each [run_one] builds a private [Run_ctx.t], sink and machines), so
+    scheduling them across [Domain]s cannot change any result: outcomes
+    are returned in registry order and are bit-identical to [jobs = 1].
+    Work-stealing over an atomic index keeps all domains busy even though
+    experiment durations vary by an order of magnitude. *)
+let default_jobs () = Domain.recommended_domain_count ()
+
+let run_all ?quick ?observe ?seed ?jobs () : outcome list =
+  let specs = Array.of_list all in
+  let n = Array.length specs in
+  let jobs =
+    max 1 (min n (match jobs with Some j -> j | None -> default_jobs ()))
+  in
+  if jobs = 1 then List.map (fun e -> run_one ?quick ?observe ?seed e) all
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (run_one ?quick ?observe ?seed specs.(i));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let helpers = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join helpers;
+    Array.to_list results
+    |> List.map (function
+         | Some o -> o
+         | None -> failwith "Registry.run_all: experiment produced no outcome")
+  end
 
 (* --- machine-readable results (schema documented in EXPERIMENTS.md) --- *)
 

@@ -1,0 +1,34 @@
+(** Explicit per-run context for the experiment stack.
+
+    Everything an experiment run needs that used to be ambient — the
+    observability sink, the machine seed, the quick flag — plus a private
+    output buffer, travels in one value. Threading it explicitly (instead
+    of a module-level [ref] in [Common]) makes a run self-contained, which
+    is what lets [Registry.run_all] fan independent experiments out over
+    [Domain]s: each job owns its context, so jobs share nothing and the
+    results are identical to a serial run. *)
+
+type t = {
+  sink : Obs.Sink.t option;
+      (** When set (the CLI/bench [--json] / [--trace-out] /
+          [--baseline-out] paths), every machine the run boots gets the
+          sink's metrics registry and span recorder attached, and Popcorn
+          clusters additionally get the trace ring and per-kernel [rpc.*]
+          routing. One experiment may boot many machines; they share the
+          run's sink (the span recorder separates them by run index). *)
+  seed : int;  (** Machine/PRNG seed for every machine the run boots. *)
+  quick : bool;  (** Shrink parameter sweeps for a fast run. *)
+  out : Buffer.t;
+      (** Private output buffer: anything an experiment wants to narrate
+          goes here, never to stdout, so concurrent runs cannot interleave.
+          [Registry.run_one] folds it into the outcome's rendered output. *)
+}
+
+(** The historical default; previously hard-coded in [Common.machine]. *)
+let default_seed = 42
+
+let create ?sink ?(seed = default_seed) ?(quick = false) () =
+  { sink; seed; quick; out = Buffer.create 1024 }
+
+let printf t fmt = Printf.ksprintf (Buffer.add_string t.out) fmt
+let output t = Buffer.contents t.out

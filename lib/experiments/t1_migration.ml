@@ -8,12 +8,12 @@
 
 open Popcorn
 
-let scenario ?opts ~dst ~fpu () =
+let scenario ctx ?opts ~dst ~fpu () =
   (* 16 kernels x 4 cores on a 4x16 machine: kernel 1 shares a socket with
      kernel 0; kernel 8 is two sockets away. *)
   let result = ref None in
   ignore
-    (Common.run_popcorn ?opts ~kernels:16 (fun _cluster th ->
+    (Common.run_popcorn ctx ?opts ~kernels:16 (fun _cluster th ->
          if fpu then
            th.Api.task.Kernelmodel.Task.ctx <-
              Kernelmodel.Context.touch_fpu
@@ -24,8 +24,8 @@ let scenario ?opts ~dst ~fpu () =
          result := Some b));
   match !result with Some b -> b | None -> assert false
 
-let run ?(quick = false) () =
-  ignore quick;
+let run (ctx : Run_ctx.t) =
+  let scenario = scenario ctx in
   let t =
     Stats.Table.create
       ~title:

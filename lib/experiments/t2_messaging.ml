@@ -8,8 +8,8 @@ open Sim
 
 type proto = Ping of { seq : int } | Done
 
-let one_way_latency ~bytes ~cross_socket : Time.t =
-  let m = Common.machine () in
+let one_way_latency ctx ~bytes ~cross_socket : Time.t =
+  let m = Common.machine ctx () in
   let eng = m.Hw.Machine.eng in
   let received = ref (-1) in
   let sent_at = ref 0 in
@@ -29,8 +29,8 @@ let one_way_latency ~bytes ~cross_socket : Time.t =
   assert (!received >= 0);
   !received
 
-let throughput ~senders ~msgs_each ~bytes : float =
-  let m = Common.machine () in
+let throughput ctx ~senders ~msgs_each ~bytes : float =
+  let m = Common.machine ctx () in
   let eng = m.Hw.Machine.eng in
   let delivered = ref 0 in
   let fabric =
@@ -57,7 +57,10 @@ let throughput ~senders ~msgs_each ~bytes : float =
   (* Throughput over the full drain interval. *)
   Common.ops_per_sec ~ops:!delivered ~elapsed:(Engine.now eng - !t0)
 
-let run ?(quick = false) () =
+let run (ctx : Run_ctx.t) =
+  let quick = ctx.Run_ctx.quick in
+  let one_way_latency = one_way_latency ctx in
+  let throughput = throughput ctx in
   let lat =
     Stats.Table.create ~title:"T2a: messaging one-way latency vs size"
       ~columns:[ "size (B)"; "same socket"; "cross socket" ]

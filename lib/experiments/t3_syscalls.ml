@@ -9,10 +9,10 @@
 open Popcorn
 module K = Kernelmodel
 
-let op_latencies ~target =
+let op_latencies ctx ~target =
   let results = ref [] in
   ignore
-    (Common.run_popcorn ~kernels:16 (fun cluster th ->
+    (Common.run_popcorn ctx ~kernels:16 (fun cluster th ->
          let eng = Types.eng cluster in
          let timed name f =
            let t0 = Sim.Engine.now eng in
@@ -46,9 +46,9 @@ let op_latencies ~target =
          end));
   List.rev !results
 
-let server_throughput ~clients ~ops_each =
+let server_throughput ctx ~clients ~ops_each =
   let elapsed =
-    Common.run_popcorn ~kernels:16 (fun cluster th ->
+    Common.run_popcorn ctx ~kernels:16 (fun cluster th ->
         let eng = Types.eng cluster in
         let latch = Workloads.Latch.create eng clients in
         for c = 0 to clients - 1 do
@@ -72,7 +72,10 @@ let server_throughput ~clients ~ops_each =
   in
   Common.ops_per_sec ~ops:(clients * ops_each) ~elapsed
 
-let run ?(quick = false) () =
+let run (ctx : Run_ctx.t) =
+  let quick = ctx.Run_ctx.quick in
+  let op_latencies = op_latencies ctx
+  and server_throughput = server_throughput ctx in
   let lat =
     Stats.Table.create
       ~title:"T3a: file syscall latency — local vs forwarded"

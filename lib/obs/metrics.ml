@@ -82,6 +82,12 @@ let rows t =
   Hashtbl.fold (fun key c acc -> ((key, view c) :: acc)) t.cells []
   |> List.sort (fun (ka, _) (kb, _) -> compare ka kb)
 
+(* Exported JSON must be byte-stable regardless of the order metrics were
+   first touched: the parallel suite runner serializes one sink per
+   experiment and CI byte-diffs the result against a committed baseline.
+   Entries are sorted by (name, kernel) here — the same order [rows]
+   guarantees — so the export does not depend on [rows] keeping that
+   property. *)
 let to_json t =
   let scope kernel =
     match kernel with None -> Json.Null | Some k -> Json.Int k
@@ -108,7 +114,8 @@ let to_json t =
                 ]
                 row
               :: hs ))
-      ([], [], []) (rows t)
+      ([], [], [])
+      (List.sort (fun (ka, _) (kb, _) -> compare ka kb) (rows t))
   in
   Json.Obj
     [

@@ -94,7 +94,10 @@ let test_registry_quick () =
     (fun id ->
       match Experiments.Registry.find id with
       | Some e ->
-          let tables = e.Experiments.Registry.run ~quick:true () in
+          let tables =
+            e.Experiments.Registry.run
+              (Experiments.Run_ctx.create ~quick:true ())
+          in
           Alcotest.(check bool) (id ^ " produces tables") true (tables <> [])
       | None -> Alcotest.failf "experiment %s missing" id)
     [ "T1"; "T2" ]
