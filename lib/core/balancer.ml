@@ -9,7 +9,16 @@
 
     This recovers the work-spreading that SMP Linux gets for free from its
     shared runqueues — one of the paper's "cost of the design" discussion
-    points — and is exercised by the load_balancer example and tests. *)
+    points — and is exercised by the load_balancer example and tests.
+
+    Load queries are per-peer timed calls (never a barrier), so a crashed
+    peer costs one timeout per round instead of wedging the balancer; each
+    query outcome feeds the optional {!Health} tracker, and drained peers
+    are neither queried nor chosen. The destination comes from a
+    {!Placement.POLICY}. Hints that nothing consumes — the thread exited,
+    migrated on its own, or never reached a migration point — are expired
+    after [hint_ttl] (the stale-hint leak: a dead tid's hint used to live
+    forever). *)
 
 open Types
 module K = Kernelmodel
@@ -17,7 +26,12 @@ module K = Kernelmodel
 type t = {
   period : Sim.Time.t;
   threshold : int;  (** hint only if local load exceeds average by this. *)
+  hint_ttl : Sim.Time.t;
+  query_timeout : Sim.Time.t;
+  policy : (module Placement.POLICY);
+  health : Health.t option;
   mutable hints_issued : int;
+  mutable hints_stale : int;
   mutable running : bool;
 }
 
@@ -35,66 +49,137 @@ let local_load (kernel : kernel) =
     (fun acc core -> acc + K.Cpu.assigned (K.Sched.cpu kernel.sched core))
     0 (K.Sched.cores kernel.sched)
 
-(* One balancing round on [kernel]: gather loads, hint one thread away if
-   overloaded. *)
+(* Expire hints nothing will consume: the thread is gone (exited or
+   migrated away, taking its tid with it) or the hint outlived [hint_ttl]
+   without the thread reaching a migration point. *)
+let expire_hints t cluster (kernel : kernel) ~now =
+  let stale =
+    Hashtbl.fold
+      (fun tid (h : migrate_hint) acc ->
+        let live =
+          match Hashtbl.find_opt kernel.tasks tid with
+          | Some task -> K.Task.is_live task
+          | None -> false
+        in
+        if (not live) || Sim.Time.sub now h.hint_at > t.hint_ttl then
+          tid :: acc
+        else acc)
+      kernel.migrate_hints []
+  in
+  List.iter
+    (fun tid ->
+      Hashtbl.remove kernel.migrate_hints tid;
+      t.hints_stale <- t.hints_stale + 1;
+      m_incr cluster ~kernel:kernel.kid "balancer.hints_stale")
+    stale
+
+let peer_available t k =
+  match t.health with None -> true | Some h -> Health.available h k
+
+(* One balancing round on [kernel]: expire stale hints, gather loads, hint
+   one thread away if overloaded. Self-quarantine: a kernel the cluster
+   has drained skips its rounds — it cannot reach its peers, so every
+   observation it would feed the shared health tracker is a spurious miss
+   that would drain the healthy majority too. *)
 let round t cluster (kernel : kernel) =
   let eng = eng cluster in
+  expire_hints t cluster kernel ~now:(Sim.Engine.now eng);
+  if peer_available t kernel.kid then begin
   let others =
-    List.filter (fun k -> k <> kernel.kid)
+    List.filter
+      (fun k -> k <> kernel.kid && peer_available t k)
       (List.init (nkernels cluster) Fun.id)
   in
   let loads = Hashtbl.create 8 in
-  let g = Msg.Gather.create eng ~expected:(List.length others) in
   List.iter
     (fun dst ->
-      let ticket =
-        Msg.Rpc.register kernel.rpc (fun resp ->
-            (match resp with
-            | Load_info { load; _ } -> Hashtbl.replace loads dst load
-            | _ -> ());
-            Msg.Gather.ack g)
-      in
-      send cluster ~src:kernel.kid ~dst (Load_query { ticket }))
+      match
+        Msg.Rpc.call_timeout kernel.rpc ~timeout:t.query_timeout
+          (fun ticket ->
+            send cluster ~src:kernel.kid ~dst (Load_query { ticket }))
+      with
+      | Some (Load_info { load; _ }) ->
+          Hashtbl.replace loads dst load;
+          Option.iter (fun h -> Health.note_success h ~kernel:dst) t.health
+      | Some _ -> ()
+      | None ->
+          Option.iter (fun h -> Health.note_failure h ~kernel:dst) t.health)
     others;
-  Msg.Gather.wait g;
   let mine = local_load kernel in
-  let total =
-    Hashtbl.fold (fun _ l acc -> acc + l) loads mine
-  in
-  let avg = total / nkernels cluster in
+  let total = Hashtbl.fold (fun _ l acc -> acc + l) loads mine in
+  let responders = Hashtbl.length loads + 1 in
+  let avg = total / responders in
   if mine > avg + t.threshold then begin
-    (* Pick the emptiest kernel and the first hint-free live local task. *)
-    let target =
+    let candidates =
       Hashtbl.fold
-        (fun k l (bk, bl) -> if l < bl then (k, l) else (bk, bl))
-        loads (kernel.kid, mine)
-      |> fst
+        (fun dst load acc ->
+          let peer = kernel_of cluster dst in
+          {
+            Placement.ck = dst;
+            ck_core = peer.home_core;
+            ck_load = load;
+            ck_weight = List.length peer.cores;
+          }
+          :: acc)
+        loads []
     in
-    if target <> kernel.kid then begin
-      let candidate =
-        Hashtbl.fold
-          (fun tid (task : K.Task.t) acc ->
-            match acc with
-            | Some _ -> acc
-            | None ->
-                if
-                  K.Task.is_live task
-                  && not (Hashtbl.mem kernel.migrate_hints tid)
-                then Some tid
-                else None)
-          kernel.tasks None
-      in
-      match candidate with
-      | Some tid ->
-          Hashtbl.replace kernel.migrate_hints tid target;
-          t.hints_issued <- t.hints_issued + 1
-      | None -> ()
-    end
+    let (module P : Placement.POLICY) = t.policy in
+    let target =
+      P.choose
+        ~topo:cluster.machine.Hw.Machine.topo
+        ~src_core:kernel.home_core ~candidates
+    in
+    match target with
+    | Some target
+      when target <> kernel.kid
+           && Hashtbl.find_opt loads target |> Option.value ~default:mine
+              < mine -> begin
+        (* First hint-free live local task. *)
+        let candidate =
+          Hashtbl.fold
+            (fun tid (task : K.Task.t) acc ->
+              match acc with
+              | Some _ -> acc
+              | None ->
+                  if
+                    K.Task.is_live task
+                    && not (Hashtbl.mem kernel.migrate_hints tid)
+                  then Some tid
+                  else None)
+            kernel.tasks None
+        in
+        match candidate with
+        | Some tid ->
+            Hashtbl.replace kernel.migrate_hints tid
+              { hint_dst = target; hint_at = Sim.Engine.now eng };
+            t.hints_issued <- t.hints_issued + 1;
+            m_incr cluster ~kernel:kernel.kid "balancer.hints_issued"
+        | None -> ()
+      end
+    | _ -> ()
+  end
   end
 
 (** Start balancer fibers on every kernel. They run until [stop]. *)
-let start ?(period = Sim.Time.ms 1) ?(threshold = 2) cluster : t =
-  let t = { period; threshold; hints_issued = 0; running = true } in
+let start ?(period = Sim.Time.ms 1) ?(threshold = 2) ?policy ?health
+    ?hint_ttl ?(query_timeout = Sim.Time.us 100) cluster : t =
+  let policy =
+    Option.value policy ~default:(module Placement.Weighted_least_loaded : Placement.POLICY)
+  in
+  let hint_ttl = Option.value hint_ttl ~default:(2 * period) in
+  let t =
+    {
+      period;
+      threshold;
+      hint_ttl;
+      query_timeout;
+      policy;
+      health;
+      hints_issued = 0;
+      hints_stale = 0;
+      running = true;
+    }
+  in
   Array.iter
     (fun kernel ->
       Sim.Engine.spawn (eng cluster)
@@ -115,12 +200,13 @@ let start ?(period = Sim.Time.ms 1) ?(threshold = 2) cluster : t =
 
 let stop t = t.running <- false
 let hints_issued t = t.hints_issued
+let hints_stale t = t.hints_stale
 
 (** Cooperative migration point: called by the API layer after compute
     slices. Returns the destination if this thread was asked to move. *)
 let take_hint (kernel : kernel) ~tid =
   match Hashtbl.find_opt kernel.migrate_hints tid with
-  | Some dst ->
+  | Some { hint_dst; _ } ->
       Hashtbl.remove kernel.migrate_hints tid;
-      Some dst
+      Some hint_dst
   | None -> None

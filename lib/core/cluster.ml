@@ -82,6 +82,8 @@ let dispatch cluster ~dst ~src ~(delivery : Msg.Transport.delivery) payload =
       Ssi.handle_task_list cluster kernel ~src ~cause ~ticket
   | Load_query { ticket } ->
       Balancer.handle_load_query cluster kernel ~src ~ticket
+  | Work_req { ticket; cost_ns } ->
+      Placement.handle_work_req cluster kernel ~src ~ticket ~cost_ns
   (* responses: complete the matching ticket on the receiving kernel *)
   | Thread_spawn_resp { ticket; _ }
   | Thread_create_ack { ticket }
@@ -100,6 +102,7 @@ let dispatch cluster ~dst ~src ~(delivery : Msg.Transport.delivery) payload =
   | Futex_wake_resp { ticket; _ }
   | Task_list_resp { ticket; _ }
   | Load_info { ticket; _ }
+  | Work_resp { ticket }
   | Vfs_resp { ticket; _ } ->
       Msg.Rpc.complete kernel.rpc ~ticket payload
 

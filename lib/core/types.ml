@@ -168,6 +168,10 @@ type payload =
   | Load_query of { ticket : int }
       (** balancer heartbeat: how many threads are assigned to your cores? *)
   | Load_info of { ticket : int; load : int }
+  | Work_req of { ticket : int; cost_ns : int }
+      (** dispatcher -> worker kernel: serve one request costing [cost_ns]
+          of CPU on one of your cores (see {!Placement}). *)
+  | Work_resp of { ticket : int }
 
 and vfs_op =
   | Vfs_open of string
@@ -208,6 +212,10 @@ type vfs_state = {
   mutable vfs_ops : int;
 }
 
+(** Balancer advice for one thread: migrate to [hint_dst]. Stamped with its
+    creation time so unconsumed hints can be expired ({!Balancer}). *)
+type migrate_hint = { hint_dst : int; hint_at : Time.t }
+
 (** One kernel of the replicated-kernel OS. *)
 type kernel = {
   kid : int;
@@ -222,9 +230,10 @@ type kernel = {
   mm_lock : Hw.Spinlock.t;  (** per-kernel mm lock (locally contended). *)
   rpc : payload Msg.Rpc.t;  (** response matching for this kernel's calls. *)
   tasks : (tid, Kernelmodel.Task.t) Hashtbl.t;  (** tasks hosted here. *)
-  migrate_hints : (tid, int) Hashtbl.t;
+  migrate_hints : (tid, migrate_hint) Hashtbl.t;
       (** balancer advice: tid -> suggested destination kernel; consumed
-          by the thread at its next cooperative migration point. *)
+          by the thread at its next cooperative migration point, or expired
+          by the balancer if the thread never reaches one. *)
 }
 
 type cluster = {
@@ -343,6 +352,8 @@ module Wire = struct
     | Task_list_resp { tids; _ } -> header + (List.length tids * 8)
     | Load_query _ -> header
     | Load_info _ -> header + 8
+    | Work_req _ -> header + 16
+    | Work_resp _ -> header + 8
     | Vfs_req { op; _ } -> (
         header
         +

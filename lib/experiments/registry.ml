@@ -65,6 +65,11 @@ let all : t list =
       title = "Migration under injected messaging faults (robustness)";
       run = R1_faults.run;
     };
+    {
+      id = "R2";
+      title = "Health-aware placement under faults (open-loop server load)";
+      run = R2_placement.run;
+    };
   ]
 
 let find id =

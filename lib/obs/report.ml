@@ -193,7 +193,9 @@ let analyze_doc j =
 
 (* --- diff --- *)
 
-(* One comparable scalar. Histograms project to .mean / .p99. *)
+(* One comparable scalar. Histograms project to .mean / .p99 / .max — max
+   included so a pure tail regression (mean and p99 flat, worst case blown
+   out) still shows up and can gate CI. *)
 type metric = { m_exp : string; m_name : string; m_kernel : int option }
 
 let metric_compare a b =
@@ -226,7 +228,7 @@ let metrics_of_doc j =
           List.concat_map (entry [ ("", "value") ]) (arr_field "counters" m)
           @ List.concat_map (entry [ ("", "value") ]) (arr_field "gauges" m)
           @ List.concat_map
-              (entry [ (".mean", "mean"); (".p99", "p99") ])
+              (entry [ (".mean", "mean"); (".p99", "p99"); (".max", "max") ])
               (arr_field "histograms" m))
     (arr_field "experiments" j)
 

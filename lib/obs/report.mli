@@ -33,8 +33,9 @@ val analyze_doc : Json.t -> (string, string) result
 val diff :
   ?fail_pct:float -> old_doc:Json.t -> new_doc:Json.t -> unit -> string * int
 (** Metric-by-metric comparison of two results documents (v1 or v2).
-    Time metrics (name containing ["_ns"], including histogram mean/p99
-    projections) regress when they grow by more than [fail_pct] percent
+    Time metrics (name containing ["_ns"], including histogram
+    mean/p99/max projections — max so pure tail regressions gate too)
+    regress when they grow by more than [fail_pct] percent
     (default 10); failure-ish counters (.failed / .dropped / .gave_up /
     .dup_suppressed / .unclosed / doorbells_lost) regress on any
     increase. Improvements, disappearances and new metrics are reported

@@ -1,0 +1,47 @@
+(** Open-loop server workload over the Popcorn cluster.
+
+    Requests arrive at a configured rate {e regardless of completion} — the
+    open-loop discipline of serious latency benchmarking: a closed loop
+    (next request only after the previous answer) self-throttles under
+    stress and hides exactly the collapse this workload exists to measure.
+    Each arrival is handed to a {!Popcorn.Placement} dispatcher (admission
+    control, health-aware kernel choice, bounded retry) and its fate is
+    recorded: completed with a latency sample, shed ([Rejected]), or failed
+    (every placement attempt timed out).
+
+    Compose with [Inject.Plan] fault plans on the cluster's transport to
+    measure behaviour under kernel crash / slowness / message loss. *)
+
+(** Arrival process and per-request cost. *)
+type config = {
+  requests : int;  (** total arrivals. *)
+  interarrival : int -> Sim.Time.t;
+      (** gap before arrival [i] (1-based): constant for a steady rate, or
+          vary by index for bursts. *)
+  cost_ns : int;  (** CPU cost of serving one request. *)
+}
+
+val steady : requests:int -> gap:Sim.Time.t -> cost_ns:int -> config
+(** Constant-rate arrivals every [gap]. *)
+
+type stats = {
+  offered : int;  (** arrivals (= [config.requests]). *)
+  completed : int;  (** got a response. *)
+  rejected : int;  (** shed by admission control. *)
+  failed : int;  (** exhausted every placement attempt. *)
+  retried : int;  (** completed, but needed more than one attempt. *)
+  latency : Stats.Histogram.t;
+      (** arrival-to-response latency (ns) of completed requests. *)
+  elapsed : Sim.Time.t;  (** first arrival to last outcome (drain included). *)
+}
+
+val goodput : stats -> float
+(** Completed fraction of offered, in [0,1]. *)
+
+val shed_rate : stats -> float
+(** Rejected fraction of offered, in [0,1]. *)
+
+val run : Popcorn.Types.cluster -> Popcorn.Placement.t -> config -> stats
+(** Run the workload to completion (spawns its own fibers; call from a
+    fiber, returns once every request has an outcome). Each completion also
+    feeds the [server.latency_ns] metric when observability is attached. *)

@@ -200,6 +200,57 @@ let test_stall_window () =
   Alcotest.(check bool) "delivery held until the stall ends" true
     (arrival >= until_)
 
+(* --- stall window edge cases -------------------------------------------- *)
+
+(* A zero-length window ([from_ = until_]) matches no delivery instant:
+   attaching one must leave the run bit-identical to no plan at all. *)
+let test_zero_length_stall () =
+  let base = one_ping_arrival ~tweak:(fun _ _ -> ()) () in
+  let plan_ref = ref None in
+  let arrival =
+    one_ping_arrival
+      ~tweak:(fun eng fabric ->
+        let plan = Inject.Plan.create ~seed:19 eng in
+        Inject.Plan.attach plan fabric;
+        Inject.Plan.add_stall plan ~node:1 ~from_:(Time.us 1)
+          ~until_:(Time.us 1);
+        plan_ref := Some plan)
+      ()
+  in
+  Alcotest.(check int) "arrival unchanged" base arrival;
+  match !plan_ref with
+  | Some plan ->
+      Alcotest.(check int) "no stall applied" 0
+        (Inject.Plan.stats plan).Inject.Plan.stalls_applied
+  | None -> Alcotest.fail "plan not created"
+
+(* Overlapping windows on one node: delivery is held until the *latest*
+   [until_] among the windows covering it, not the first to match. *)
+let test_overlapping_stalls () =
+  let short = Time.us 150 and long = Time.us 400 in
+  let arrival =
+    one_ping_arrival
+      ~tweak:(fun eng fabric ->
+        let plan = Inject.Plan.create ~seed:20 eng in
+        Inject.Plan.attach plan fabric;
+        (* Registration order is the adversarial one: the shorter window
+           second, so a first-match implementation would release early. *)
+        Inject.Plan.add_stall plan ~node:1 ~from_:0 ~until_:long;
+        Inject.Plan.add_stall plan ~node:1 ~from_:0 ~until_:short)
+      ()
+  in
+  Alcotest.(check bool) "held until the longest window ends" true
+    (arrival >= long)
+
+let test_inverted_stall_rejected () =
+  let m = mk_machine () in
+  let eng = m.Hw.Machine.eng in
+  let plan = Inject.Plan.create ~seed:21 eng in
+  Alcotest.check_raises "until_ < from_ is a caller bug"
+    (Invalid_argument "Plan.add_stall: until_ < from_") (fun () ->
+      Inject.Plan.add_stall plan ~node:1 ~from_:(Time.us 10)
+        ~until_:(Time.us 5))
+
 (* --- retry: recovery and giving up ------------------------------------- *)
 
 let policy ~tries =
@@ -254,6 +305,31 @@ let test_retry_gives_up () =
   let s = Msg.Rpc.retry_stats rpc in
   Alcotest.(check int) "one give-up" 1 s.Msg.Rpc.gave_up;
   Alcotest.(check int) "no recovery" 0 s.Msg.Rpc.recovered;
+  Alcotest.(check int) "no ticket leaked" 0 (Msg.Rpc.pending rpc)
+
+(* The plan's faults end mid-RPC — the outage link rates are cleared and
+   the whole plan detached while a retried call is still parked. The
+   in-flight retry machinery must simply recover on its next attempt. *)
+let test_plan_detach_mid_rpc () =
+  let m, fabric, rpc = mk_echo () in
+  let eng = m.Hw.Machine.eng in
+  let plan = Inject.Plan.create ~seed:22 eng in
+  Inject.Plan.attach plan fabric;
+  Inject.Plan.set_link plan ~src:0 ~dst:1 (only_drop 1.0);
+  Engine.schedule eng ~after:(Time.us 120) (fun () ->
+      Inject.Plan.detach fabric);
+  let result = ref None in
+  Engine.spawn eng (fun () ->
+      result :=
+        Msg.Rpc.call_retry rpc ~policy:(policy ~tries:5)
+          (fun ~attempt:_ ticket ->
+            Msg.Transport.send fabric ~src:0 ~dst:1 ~bytes:64 (Req { ticket })));
+  Engine.run eng;
+  (match !result with
+  | Some (Resp _) -> ()
+  | _ -> Alcotest.fail "rpc did not survive mid-call detach");
+  let s = Msg.Rpc.retry_stats rpc in
+  Alcotest.(check int) "recovered once" 1 s.Msg.Rpc.recovered;
   Alcotest.(check int) "no ticket leaked" 0 (Msg.Rpc.pending rpc)
 
 (* --- raw IPI faults ----------------------------------------------------- *)
@@ -383,12 +459,23 @@ let () =
           Alcotest.test_case "kernel stall window" `Quick test_stall_window;
           Alcotest.test_case "raw ipi drop" `Quick test_ipi_drop;
         ] );
+      ( "stall edges",
+        [
+          Alcotest.test_case "zero-length window is inert" `Quick
+            test_zero_length_stall;
+          Alcotest.test_case "overlapping windows hold to the longest" `Quick
+            test_overlapping_stalls;
+          Alcotest.test_case "inverted window rejected" `Quick
+            test_inverted_stall_rejected;
+        ] );
       ( "retry",
         [
           Alcotest.test_case "recovers after outage" `Quick
             test_retry_recovers;
           Alcotest.test_case "gives up when exhausted" `Quick
             test_retry_gives_up;
+          Alcotest.test_case "plan detached mid-rpc" `Quick
+            test_plan_detach_mid_rpc;
         ] );
       ( "determinism",
         [
