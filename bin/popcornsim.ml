@@ -40,6 +40,26 @@ let seed =
     & opt int Experiments.Run_ctx.default_seed
     & info [ "seed" ] ~docv:"N" ~doc)
 
+let coherence =
+  let protos =
+    List.map
+      (fun p -> (Coherence.Protocol.to_string p, p))
+      Coherence.Protocol.all
+  in
+  let doc =
+    Printf.sprintf
+      "Page-coherence protocol every Popcorn cluster boots with: %s \
+       (origin-home directory, the paper's design) or %s (vpn-sharded \
+       directory). Experiments that pin their own options — the ablations, \
+       and F4's explicit protocol comparison — are unaffected."
+      (Cmdliner.Manpage.escape "origin")
+      (Cmdliner.Manpage.escape "sharded")
+  in
+  Arg.(
+    value
+    & opt (enum protos) Coherence.Protocol.Origin_home
+    & info [ "coherence" ] ~docv:"PROTO" ~doc)
+
 let jobs =
   let doc =
     "Run up to $(docv) experiments concurrently on separate domains \
@@ -117,14 +137,16 @@ let run_cmd =
     let doc = Printf.sprintf "Experiment id (%s)." experiment_ids in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
   in
-  let run id quick seed jobs json trace baseline =
+  let run id quick seed coherence jobs json trace baseline =
     (* A single experiment occupies one domain; --jobs is accepted for
        symmetry with `all` (scripts can pass it to either subcommand). *)
     ignore (jobs : int option);
     match Experiments.Registry.find id with
     | Some e ->
         let observe = json <> None || trace <> None || baseline <> None in
-        let o = Experiments.Registry.run_one ~quick ~observe ~seed e in
+        let o =
+          Experiments.Registry.run_one ~quick ~observe ~seed ~coherence e
+        in
         print_string o.Experiments.Registry.output;
         flush stdout;
         export ~quick [ o ] json trace baseline;
@@ -134,16 +156,16 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Run one experiment and print its tables.")
     Term.(
       ret
-        (const run $ id $ quick $ seed $ jobs $ json_out $ trace_out
-       $ baseline_out))
+        (const run $ id $ quick $ seed $ coherence $ jobs $ json_out
+       $ trace_out $ baseline_out))
 
 (* --- all --- *)
 
 let all_cmd =
-  let run quick seed jobs json trace baseline =
+  let run quick seed coherence jobs json trace baseline =
     let observe = json <> None || trace <> None || baseline <> None in
     let outcomes =
-      Experiments.Registry.run_all ~quick ~observe ~seed ?jobs ()
+      Experiments.Registry.run_all ~quick ~observe ~seed ~coherence ?jobs ()
     in
     List.iter
       (fun (o : Experiments.Registry.outcome) -> print_string o.output)
@@ -153,7 +175,8 @@ let all_cmd =
   in
   Cmd.v (Cmd.info "all" ~doc:"Run every experiment.")
     Term.(
-      const run $ quick $ seed $ jobs $ json_out $ trace_out $ baseline_out)
+      const run $ quick $ seed $ coherence $ jobs $ json_out $ trace_out
+      $ baseline_out)
 
 (* --- demo --- *)
 

@@ -1,0 +1,18 @@
+(** Directory entry for one virtual page of a distributed process.
+    Invariant: [writer] and a non-empty [readers] are mutually exclusive.
+    Entries live in the per-process directory table; which kernel is
+    allowed to touch the entry for a given VPN is the protocol's home
+    assignment ({!Protocol.home}). *)
+
+type entry = {
+  mutable writer : int option;  (** kernel with the sole writable copy. *)
+  mutable readers : int list;  (** kernels holding read-only replicas. *)
+}
+
+let find_or_create tbl vpn =
+  match Hashtbl.find_opt tbl vpn with
+  | Some e -> e
+  | None ->
+      let e = { writer = None; readers = [] } in
+      Hashtbl.add tbl vpn e;
+      e

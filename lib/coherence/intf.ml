@@ -1,0 +1,131 @@
+(** The two module types of the subsystem.
+
+    {!ENV} is everything a protocol needs from the OS it runs inside:
+    projections over the cluster/kernel/process/replica records, the
+    directory state (which stays on the master process record — the
+    protocol only decides which kernel may touch which entry), simulated
+    work charging, metrics/span hooks, and typed messaging over
+    {!Wire}. The OS implements it once; protocols are functors over it,
+    which keeps [lib/coherence] below the OS in the dependency order.
+
+    {!S} is the surface a protocol exposes back: the fault path entered
+    from a memory access, the message handler for {!Wire.req}, and the
+    munmap range-drop hooks. *)
+
+module type ENV = sig
+  type cluster
+  type kernel
+  type process
+  type replica
+  type span
+
+  (* topology *)
+  val kid : kernel -> int
+  val core_count : kernel -> int
+  val nkernels : cluster -> int
+  val params : cluster -> Hw.Params.t
+  val read_replication : cluster -> bool
+  val stats : cluster -> Stats.t
+
+  (* processes and their per-kernel replicas *)
+  val pid : process -> Kernelmodel.Ids.pid
+  val origin : process -> int
+  val find_process : cluster -> pid:Kernelmodel.Ids.pid -> process option
+  val find_replica : kernel -> pid:Kernelmodel.Ids.pid -> replica option
+  val proc_of : replica -> process
+  val vmas : replica -> Kernelmodel.Vma.t
+  val pt : replica -> Kernelmodel.Page_table.t
+  val page_data : replica -> (int, int) Hashtbl.t
+  val member_count : replica -> int
+
+  (* directory state (lives on the master process record; the protocol's
+     home assignment says which kernel may touch the entry for a vpn) *)
+  val directory : process -> (int, Dir.entry) Hashtbl.t
+  val versions : process -> (int, int) Hashtbl.t
+  val fault_lock : cluster -> process -> vpn:int -> Sim.Mutex.t
+  val drop_fault_lock : process -> vpn:int -> unit
+
+  (* physical memory *)
+  val alloc_frame : cluster -> kernel -> int
+  val free_frame : cluster -> frame:int -> unit
+
+  (* simulated time, metrics, tracing *)
+  val work : cluster -> Sim.Time.t -> unit
+  val metric_incr : cluster -> kernel:int -> string -> unit
+  val trace : cluster -> (unit -> string) -> unit
+
+  (* causal spans: a fault-service span on the requester wraps its call to
+     the home so the message is stamped with it; the handler-side span is
+     linked to the delivery that caused it. Free no-ops when the run is
+     not observed. *)
+  val span_begin : cluster -> kernel:int -> ?cause:int -> unit -> span option
+  val span_end : cluster -> span option -> unit
+
+  (* messaging *)
+  val call :
+    cluster ->
+    src:kernel ->
+    ?src_core:Hw.Topology.core ->
+    ?span:span ->
+    dst:int ->
+    (ticket:int -> Wire.req) ->
+    Wire.resp
+
+  val reply :
+    cluster ->
+    src:kernel ->
+    ?src_core:Hw.Topology.core ->
+    dst:int ->
+    Wire.resp ->
+    unit
+
+  val broadcast_and_wait :
+    cluster -> src:kernel -> targets:int list -> (ack:int -> Wire.req) -> unit
+
+  (** Register an install-ack ticket on [kernel], run [send] with it, park
+      until the requester acknowledges. The caller holds the page's fault
+      lock across the whole thing — releasing earlier lets a second writer
+      be granted while the first install is still in flight. *)
+  val with_install_ack : cluster -> kernel -> send:(ack:int -> unit) -> unit
+end
+
+module type S = sig
+  type cluster
+  type kernel
+  type process
+  type replica
+
+  val protocol : Protocol.t
+
+  (** Memory access by an application thread: classify against the local
+      replica and fault if needed. [Ok classification] tells the caller
+      what was needed; [Error] is a segfault. *)
+  val touch :
+    cluster ->
+    kernel ->
+    replica ->
+    core:Hw.Topology.core ->
+    addr:int ->
+    access:Kernelmodel.Fault.access ->
+    (Kernelmodel.Fault.classification, string) result
+
+  (** Handle one protocol request delivered to [kernel]. [cause] is the
+      delivery's message id, for causal span linking. *)
+  val handle : cluster -> kernel -> src:int -> cause:int -> Wire.req -> unit
+
+  (** Drop local translations and frames for a byte range (on munmap). *)
+  val drop_range_local :
+    cluster -> kernel -> replica -> start:int -> len:int -> unit
+
+  (** Directory cleanup for a byte range, initiated from [kernel] (the
+      process origin). [keep_versions] is the mprotect reset: directory
+      entries and fault locks go, committed content stays. *)
+  val drop_range_directory :
+    cluster ->
+    kernel ->
+    process ->
+    start:int ->
+    len:int ->
+    keep_versions:bool ->
+    unit
+end

@@ -1,0 +1,39 @@
+(** The paper's protocol: every page of a process is homed at the
+    process's origin kernel. Faults on the origin are message-free; the
+    munmap directory drop is a local loop because every entry lives
+    here. The cost is that all remote coherence traffic — and every
+    fault lock — serializes through the origin's message ring. *)
+
+module Make (Env : Intf.ENV) :
+  Intf.S
+    with type cluster = Env.cluster
+     and type kernel = Env.kernel
+     and type process = Env.process
+     and type replica = Env.replica = struct
+  module B = Impl.Shared (Env)
+
+  type cluster = Env.cluster
+  type kernel = Env.kernel
+  type process = Env.process
+  type replica = Env.replica
+
+  let protocol = Protocol.Origin_home
+  let home proc ~vpn:_ = Env.origin proc
+
+  let touch cluster kernel r ~core ~addr ~access =
+    B.touch cluster kernel r ~home ~core ~addr ~access
+
+  let handle cluster kernel ~src ~cause req =
+    B.handle cluster kernel ~home ~src ~cause req
+
+  let drop_range_local = B.drop_range_local
+
+  (** Every entry is homed at the initiating (origin) kernel: purely
+      local cleanup, no messages. *)
+  let drop_range_directory _cluster _kernel proc ~start ~len ~keep_versions =
+    let first = Kernelmodel.Page_table.vpn_of_addr start in
+    let last = Kernelmodel.Page_table.vpn_of_addr (start + len - 1) in
+    for vpn = first to last do
+      B.drop_dir_vpn proc ~keep_versions vpn
+    done
+end

@@ -1,0 +1,68 @@
+(** Sharded directory: each VPN hashes to a home kernel
+    ({!Protocol.home}), so directory service, fault locks and
+    invalidation fan-out spread across the cluster instead of
+    serializing through the origin's ring. The trade: pages private to a
+    thread on kernel k still hash elsewhere with probability
+    (nkernels-1)/nkernels, so low-sharing workloads pay directory hops
+    the origin protocol never would. Experiment R3 maps the crossover.
+
+    Home kernels need no replica of the process: the directory tables
+    live on the master record, and a home that holds no copy of the page
+    simply has nothing to revoke locally. VMA layout stays origin-owned
+    ([Addr_consistency] is untouched by the protocol choice); only the
+    per-page directory moves. *)
+
+module Make (Env : Intf.ENV) :
+  Intf.S
+    with type cluster = Env.cluster
+     and type kernel = Env.kernel
+     and type process = Env.process
+     and type replica = Env.replica = struct
+  module B = Impl.Shared (Env)
+
+  type cluster = Env.cluster
+  type kernel = Env.kernel
+  type process = Env.process
+  type replica = Env.replica
+
+  let protocol = Protocol.Sharded_dir
+
+  let home_in cluster proc ~vpn =
+    Protocol.home Protocol.Sharded_dir ~origin:(Env.origin proc)
+      ~nkernels:(Env.nkernels cluster) ~vpn
+
+  let touch cluster kernel r ~core ~addr ~access =
+    B.touch cluster kernel r ~home:(home_in cluster) ~core ~addr ~access
+
+  let handle cluster kernel ~src ~cause req =
+    B.handle cluster kernel ~home:(home_in cluster) ~src ~cause req
+
+  let drop_range_local = B.drop_range_local
+
+  (** Directory entries are scattered: drop the locally-homed ones in
+      place, then batch one {!Wire.Drop_range} per remote home shard and
+      wait for all acks. Committed versions are origin bookkeeping and
+      are always handled here, never by the shards. *)
+  let drop_range_directory cluster kernel proc ~start ~len ~keep_versions =
+    let self = Env.kid kernel in
+    let first = Kernelmodel.Page_table.vpn_of_addr start in
+    let last = Kernelmodel.Page_table.vpn_of_addr (start + len - 1) in
+    let remote = ref [] in
+    for vpn = first to last do
+      if not keep_versions then Hashtbl.remove (Env.versions proc) vpn;
+      let h = home_in cluster proc ~vpn in
+      if h = self then begin
+        Hashtbl.remove (Env.directory proc) vpn;
+        Env.drop_fault_lock proc ~vpn
+      end
+      else if not (List.mem h !remote) then remote := h :: !remote
+    done;
+    match List.sort compare !remote with
+    | [] -> ()
+    | targets ->
+        let s = Env.stats cluster in
+        s.Stats.drop_msgs <- s.Stats.drop_msgs + List.length targets;
+        Env.metric_incr cluster ~kernel:self "coherence.drop_range_msgs";
+        Env.broadcast_and_wait cluster ~src:kernel ~targets (fun ~ack ->
+            Wire.Drop_range { pid = Env.pid proc; start; len; ack })
+end

@@ -55,16 +55,6 @@ let handle_vma_protect cluster (kernel : kernel) ~src ~pid ~start ~len
 (* Origin-side implementation                                          *)
 (* ------------------------------------------------------------------ *)
 
-(* Reset directory entries for a range without destroying content
-   versions (used by mprotect; munmap destroys versions too). *)
-let reset_directory_range (proc : process) ~start ~len =
-  let first = K.Page_table.vpn_of_addr start in
-  let last = K.Page_table.vpn_of_addr (start + len - 1) in
-  for vpn = first to last do
-    Hashtbl.remove proc.directory vpn;
-    Hashtbl.remove proc.fault_locks vpn
-  done
-
 (** Apply an mmap at the origin. No push: replicas learn lazily on their
     first fault into the region ([requester] applies the RPC response). *)
 let origin_mmap cluster (origin : kernel) (proc : process) ~requester:_ ~len
@@ -90,7 +80,8 @@ let origin_munmap cluster (origin : kernel) (proc : process) ~requester
             ~targets:(other_members proc ~except:requester)
             ~make:(fun ~ack_ticket ->
               Vma_remove { pid = proc.pid; start; len; ack_ticket });
-          Page_coherence.drop_range_directory proc ~start ~len;
+          Page_coherence.drop_range_directory cluster origin proc ~start ~len
+            ~keep_versions:false;
           Ok ())
 
 let origin_mprotect cluster (origin : kernel) (proc : process) ~requester
@@ -117,7 +108,10 @@ let origin_mprotect cluster (origin : kernel) (proc : process) ~requester
             ~targets:(other_members proc ~except:requester)
             ~make:(fun ~ack_ticket ->
               Vma_protect { pid = proc.pid; start; len; prot; ack_ticket });
-          reset_directory_range proc ~start ~len;
+          (* Reset directory entries without destroying content versions
+             (munmap destroys those too). *)
+          Page_coherence.drop_range_directory cluster origin proc ~start ~len
+            ~keep_versions:true;
           Ok ())
 
 (* ------------------------------------------------------------------ *)

@@ -33,6 +33,11 @@ val current_kernel : thread -> kernel
 
 val current_core : thread -> Hw.Topology.core
 
+val replica : thread -> replica
+(** This process's address-space replica on the thread's current kernel.
+    Read-only inspection of local page-table state (e.g. deciding whether
+    the next access would fault) costs nothing in simulated time. *)
+
 (** {1 Execution} *)
 
 val compute : thread -> Sim.Time.t -> unit

@@ -54,18 +54,14 @@ let dispatch cluster ~dst ~src ~(delivery : Msg.Transport.delivery) payload =
   | Vma_lookup_req { ticket; pid; addr } ->
       Addr_consistency.handle_vma_lookup cluster kernel ~src ~ticket ~pid
         ~addr
-  (* page coherence *)
-  | Page_req { ticket; pid; vpn; access } ->
-      Page_coherence.handle_page_req cluster kernel ~src ~ticket ~pid ~vpn
-        ~access
-  | Page_pull { ticket; pid; vpn } ->
-      Page_coherence.handle_page_pull cluster kernel ~src ~ticket ~pid ~vpn
-  | Page_invalidate { pid; vpn; ack_ticket } ->
-      Page_coherence.handle_page_invalidate cluster kernel ~src ~pid ~vpn
-        ~ack_ticket
-  | Page_downgrade { pid; vpn; ack_ticket } ->
-      Page_coherence.handle_page_downgrade cluster kernel ~src ~pid ~vpn
-        ~ack_ticket
+  (* page coherence: requests go to the active protocol, responses
+     complete the ticket like every other RPC *)
+  | Coh (Coherence.Wire.Req req) ->
+      Page_coherence.handle cluster kernel ~src ~cause req
+  | Coh (Coherence.Wire.Resp resp) ->
+      Msg.Rpc.complete kernel.rpc
+        ~ticket:(Coherence.Wire.resp_ticket resp)
+        payload
   (* distributed futex *)
   | Futex_wait_req { pid; addr; waiter } ->
       Dfutex.handle_wait_req cluster kernel ~pid ~addr ~waiter
@@ -96,9 +92,6 @@ let dispatch cluster ~dst ~src ~(delivery : Msg.Transport.delivery) payload =
   | Vma_ack { ticket }
   | Vma_fetch_resp { ticket; _ }
   | Vma_lookup_resp { ticket; _ }
-  | Page_resp { ticket; _ }
-  | Page_pull_resp { ticket; _ }
-  | Page_ack { ticket }
   | Futex_wake_resp { ticket; _ }
   | Task_list_resp { ticket; _ }
   | Load_info { ticket; _ }
@@ -159,6 +152,7 @@ let boot ?(opts = default_options) (machine : Hw.Machine.t) ~kernels
       procs = Hashtbl.create 16;
       stride = kernels;
       opts;
+      coh_stats = Coherence.Stats.create ();
       vfs =
         {
           files = Hashtbl.create 32;

@@ -1,0 +1,102 @@
+(** The OS side of the coherence subsystem: one implementation of
+    {!Coherence.Intf.ENV} projecting the popcorn cluster records into
+    what the protocol functors need. This is the whole dependency
+    inversion — [lib/coherence] sits below popcorn and sees the OS only
+    through this module. *)
+
+open Types
+
+module Env :
+  Coherence.Intf.ENV
+    with type cluster = cluster
+     and type kernel = kernel
+     and type process = process
+     and type replica = replica = struct
+  type nonrec cluster = cluster
+  type nonrec kernel = kernel
+  type nonrec process = process
+  type nonrec replica = replica
+  type span = Obs.Span.span
+
+  let kid (k : kernel) = k.kid
+  let core_count (k : kernel) = List.length k.cores
+  let nkernels = nkernels
+  let params = params
+  let read_replication cluster = cluster.opts.read_replication
+  let stats cluster = cluster.coh_stats
+  let pid (p : process) = p.pid
+  let origin (p : process) = p.origin
+  let find_process cluster ~pid = Hashtbl.find_opt cluster.procs pid
+  let find_replica (k : kernel) ~pid = find_replica k pid
+  let proc_of (r : replica) = r.proc
+  let vmas (r : replica) = r.vmas
+  let pt (r : replica) = r.pt
+  let page_data (r : replica) = r.page_data
+  let member_count (r : replica) = List.length r.members
+  let directory (p : process) = p.directory
+  let versions (p : process) = p.page_version
+
+  let fault_lock cluster (p : process) ~vpn =
+    match Hashtbl.find_opt p.fault_locks vpn with
+    | Some m -> m
+    | None ->
+        let m = Sim.Mutex.create (eng cluster) in
+        Hashtbl.add p.fault_locks vpn m;
+        m
+
+  let drop_fault_lock (p : process) ~vpn = Hashtbl.remove p.fault_locks vpn
+
+  let alloc_frame cluster (k : kernel) =
+    let node =
+      Hw.Topology.socket_of cluster.machine.Hw.Machine.topo k.home_core
+    in
+    Hw.Memory.alloc_exn cluster.machine.Hw.Machine.mem ~node
+
+  let free_frame cluster ~frame =
+    Hw.Memory.free cluster.machine.Hw.Machine.mem frame
+
+  let work = Proto_util.kernel_work
+  let metric_incr cluster ~kernel name = m_incr cluster ~kernel name
+
+  let trace cluster msg =
+    match cluster.tracer with
+    | None -> ()
+    | Some _ -> Types.trace cluster ~cat:"fault" "%s" (msg ())
+
+  let span_begin cluster ~kernel ?cause () =
+    sp_begin cluster ?cause ~kernel Obs.Span.Page_fault
+
+  let span_end = sp_end
+
+  let coh w = Coh w
+
+  let uncoh = function
+    | Coh (Coherence.Wire.Resp r) -> r
+    | _ -> assert false
+
+  let call cluster ~(src : kernel) ?src_core ?span ~dst make =
+    let make ~ticket = coh (Coherence.Wire.Req (make ~ticket)) in
+    uncoh
+      (match src_core with
+      | Some src_core ->
+          Proto_util.call_from ?span cluster ~src ~src_core ~dst make
+      | None -> Proto_util.call ?span cluster ~src ~dst make)
+
+  let reply cluster ~(src : kernel) ?src_core ~dst resp =
+    let payload = coh (Coherence.Wire.Resp resp) in
+    match src_core with
+    | Some src_core -> send_from cluster ~src:src.kid ~src_core ~dst payload
+    | None -> send cluster ~src:src.kid ~dst payload
+
+  let broadcast_and_wait cluster ~src ~targets make =
+    Proto_util.broadcast_and_wait cluster ~src ~targets
+      ~make:(fun ~ack_ticket -> coh (Coherence.Wire.Req (make ~ack:ack_ticket)))
+
+  let with_install_ack cluster (k : kernel) ~send =
+    let installed = Msg.Gather.create (eng cluster) ~expected:1 in
+    let ack =
+      Msg.Rpc.register k.rpc (fun (_ : payload) -> Msg.Gather.ack installed)
+    in
+    send ~ack;
+    Msg.Gather.wait installed
+end

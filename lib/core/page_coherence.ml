@@ -1,359 +1,74 @@
-(** On-demand page coherence for distributed address spaces.
+(** On-demand page coherence for distributed address spaces — facade over
+    the pluggable protocol subsystem ({!Coherence}).
 
-    Pages of a distributed process follow a single-writer /
-    multiple-reader protocol with a directory at the origin kernel, the
-    design the paper describes for address-space consistency at page
-    granularity:
+    The protocol state machine (single-writer / multiple-reader with a
+    per-page directory, the paper's design) lives in
+    [lib/coherence/impl.ml]; the two protocols instantiated here differ
+    only in where a page's directory shard is homed:
 
-    - a page is writable on at most one kernel at a time;
-    - read-only replicas may exist on several kernels (unless the
-      [read_replication] ablation option is off);
-    - a write fault pulls the page exclusively: the origin revokes the
-      current writer, invalidates every reader, then grants ownership;
-    - a read fault downgrades the current writer to a reader and replicates.
+    - {!Coherence.Origin_home} — at the process's origin kernel (the
+      paper's protocol, and the default);
+    - {!Coherence.Sharded_dir} — at a hash of the VPN, spreading
+      directory load across the cluster.
 
-    Content is modelled as a per-page version number: the owning kernel's
-    writes bump the version in place (physical memory is shared on this
-    machine, so that mutation is "hardware", not kernel state); protocol
-    messages carry the version so tests can verify read-after-write
-    coherence across kernels. *)
+    Which one a cluster runs is [cluster.opts.coherence], fixed at boot.
+    [write_commit] / [read_version] model content as per-page version
+    numbers and are protocol-independent ("hardware", not kernel
+    state). *)
 
-open Sim
 open Types
 module K = Kernelmodel
+module OH = Coherence.Origin_home.Make (Coherence_env.Env)
+module SD = Coherence.Sharded_dir.Make (Coherence_env.Env)
 
-let page_size = 4096
+let page_size = Coherence.Impl.page_size
 
-(* Cost of allocating a physical frame + zeroing it on first touch. *)
-let frame_alloc_cost = Time.ns 300
-let zero_page_cost = Time.ns 600
+module type IMPL =
+  Coherence.Intf.S
+    with type cluster = cluster
+     and type kernel = kernel
+     and type process = process
+     and type replica = replica
 
-let fault_lock (proc : process) vpn eng =
-  match Hashtbl.find_opt proc.fault_locks vpn with
-  | Some m -> m
-  | None ->
-      let m = Mutex.create eng in
-      Hashtbl.add proc.fault_locks vpn m;
-      m
+let impl cluster : (module IMPL) =
+  match cluster.opts.coherence with
+  | Coherence.Protocol.Origin_home -> (module OH)
+  | Coherence.Protocol.Sharded_dir -> (module SD)
 
-let latest_version (proc : process) vpn =
-  match Hashtbl.find_opt proc.page_version vpn with Some v -> v | None -> 0
-
-(* ------------------------------------------------------------------ *)
-(* Handlers running on non-origin kernels (owner / reader side).      *)
-(* ------------------------------------------------------------------ *)
-
-(** Origin asked us to give up our writable copy: unmap, flush, free the
-    frame, return the content version we had. *)
-let handle_page_pull cluster (kernel : kernel) ~src ~ticket ~pid ~vpn =
-  let p = params cluster in
-  m_incr cluster ~kernel:kernel.kid "coherence.pulls";
-  Proto_util.kernel_work cluster p.Hw.Params.page_table_walk;
-  let version =
-    match find_replica kernel pid with
-    | None -> 0
-    | Some r -> (
-        Proto_util.kernel_work cluster p.Hw.Params.tlb_flush_local;
-        (match K.Page_table.clear r.pt ~vpn with
-        | Some pte -> Hw.Memory.free cluster.machine.Hw.Machine.mem pte.K.Page_table.frame
-        | None -> ());
-        match Hashtbl.find_opt r.page_data vpn with
-        | Some v ->
-            Hashtbl.remove r.page_data vpn;
-            v
-        | None -> 0)
-  in
-  send cluster ~src:kernel.kid ~dst:src (Page_pull_resp { ticket; version })
-
-(** Origin asked us to drop our read-only copy. *)
-let handle_page_invalidate cluster (kernel : kernel) ~src ~pid ~vpn
-    ~ack_ticket =
-  let p = params cluster in
-  m_incr cluster ~kernel:kernel.kid "coherence.invalidations";
-  Proto_util.kernel_work cluster
-    (Time.add p.Hw.Params.page_table_walk p.Hw.Params.tlb_flush_local);
-  (match find_replica kernel pid with
-  | None -> ()
-  | Some r -> (
-      Hashtbl.remove r.page_data vpn;
-      match K.Page_table.clear r.pt ~vpn with
-      | Some pte ->
-          Hw.Memory.free cluster.machine.Hw.Machine.mem pte.K.Page_table.frame
-      | None -> ()));
-  send cluster ~src:kernel.kid ~dst:src (Page_ack { ticket = ack_ticket })
-
-(** Origin asked us to downgrade our writable copy to read-only (we keep
-    the frame and become a reader). Replies with the version like a pull. *)
-let handle_page_downgrade cluster (kernel : kernel) ~src ~pid ~vpn
-    ~ack_ticket =
-  let p = params cluster in
-  m_incr cluster ~kernel:kernel.kid "coherence.downgrades";
-  Proto_util.kernel_work cluster
-    (Time.add p.Hw.Params.page_table_walk p.Hw.Params.tlb_flush_local);
-  (match find_replica kernel pid with
-  | None -> ()
-  | Some r -> ignore (K.Page_table.downgrade r.pt ~vpn));
-  send cluster ~src:kernel.kid ~dst:src (Page_ack { ticket = ack_ticket })
-
-(* ------------------------------------------------------------------ *)
-(* Directory service, running on the origin kernel.                    *)
-(* ------------------------------------------------------------------ *)
-
-(* Local (message-free) counterparts of pull/invalidate/downgrade, used
-   when the kernel to revoke is the origin itself. *)
-let local_revoke cluster (kernel : kernel) ~pid ~vpn =
-  let p = params cluster in
-  Proto_util.kernel_work cluster
-    (Time.add p.Hw.Params.page_table_walk p.Hw.Params.tlb_flush_local);
-  match find_replica kernel pid with
-  | None -> 0
-  | Some r -> (
-      (match K.Page_table.clear r.pt ~vpn with
-      | Some pte ->
-          Hw.Memory.free cluster.machine.Hw.Machine.mem pte.K.Page_table.frame
-      | None -> ());
-      match Hashtbl.find_opt r.page_data vpn with
-      | Some v ->
-          Hashtbl.remove r.page_data vpn;
-          v
-      | None -> 0)
-
-let local_pull cluster (kernel : kernel) ~pid ~vpn =
-  m_incr cluster ~kernel:kernel.kid "coherence.pulls";
-  local_revoke cluster kernel ~pid ~vpn
-
-let local_invalidate cluster (kernel : kernel) ~pid ~vpn =
-  m_incr cluster ~kernel:kernel.kid "coherence.invalidations";
-  ignore (local_revoke cluster kernel ~pid ~vpn)
-
-let local_downgrade cluster (kernel : kernel) ~pid ~vpn =
-  let p = params cluster in
-  m_incr cluster ~kernel:kernel.kid "coherence.downgrades";
-  Proto_util.kernel_work cluster
-    (Time.add p.Hw.Params.page_table_walk p.Hw.Params.tlb_flush_local);
-  match find_replica kernel pid with
-  | None -> ()
-  | Some r -> ignore (K.Page_table.downgrade r.pt ~vpn)
-
-(** Serve one fault against the directory. Must run on the origin kernel
-    {e with the page's fault lock held}; may issue pulls / invalidations /
-    downgrades to other kernels. Returns the grant for [requester].
-
-    The caller keeps the lock until the requester has {e installed} the
-    grant (locally, or signalled by a [Page_ack]); releasing earlier lets a
-    second writer be granted while the first install is still in flight,
-    which the randomized coherence tests catch as a dual-writer state. *)
-let origin_service_locked cluster (origin : kernel) (proc : process)
-    ~requester ~vpn ~(access : K.Fault.access) : page_grant =
-  m_incr cluster ~kernel:origin.kid "coherence.grants";
-  let entry =
-        match Hashtbl.find_opt proc.directory vpn with
-        | Some e -> e
-        | None ->
-            let e = { writer = None; readers = [] } in
-            Hashtbl.add proc.directory vpn e;
-            e
-      in
-      let effective_access =
-        if cluster.opts.read_replication then access else K.Fault.Write
-      in
-      let requester_was_reader = List.mem requester entry.readers in
-      match effective_access with
-      | K.Fault.Write ->
-          (* Revoke the current writer, if any and not the requester. *)
-          let pulled_from =
-            match entry.writer with
-            | Some w when w = origin.kid && w <> requester ->
-                let version = local_pull cluster origin ~pid:proc.pid ~vpn in
-                if version > latest_version proc vpn then
-                  Hashtbl.replace proc.page_version vpn version;
-                Some w
-            | Some w when w <> requester ->
-                (match
-                   Proto_util.call cluster ~src:origin ~dst:w
-                     (fun ~ticket -> Page_pull { ticket; pid = proc.pid; vpn })
-                 with
-                | Page_pull_resp { version; _ } ->
-                    (* Keep the committed version in sync with what the
-                       (now revoked) writer last wrote. *)
-                    if version > latest_version proc vpn then
-                      Hashtbl.replace proc.page_version vpn version
-                | _ -> assert false);
-                Some w
-            | _ -> None
-          in
-          (* Invalidate every reader except the requester; the origin's own
-             replica is revoked locally (broadcast skips self). *)
-          let victims = List.filter (fun k -> k <> requester) entry.readers in
-          if List.mem origin.kid victims && requester <> origin.kid then
-            local_invalidate cluster origin ~pid:proc.pid ~vpn;
-          Proto_util.broadcast_and_wait cluster ~src:origin ~targets:victims
-            ~make:(fun ~ack_ticket ->
-              Page_invalidate { pid = proc.pid; vpn; ack_ticket });
-          entry.writer <- Some requester;
-          entry.readers <- [];
-          {
-            grant_version = latest_version proc vpn;
-            grant_writable = true;
-            grant_from =
-              (match pulled_from with Some w -> w | None -> origin.kid);
-            grant_carries_data = not requester_was_reader;
-            grant_ack = 0;
-          }
-      | K.Fault.Read -> (
-          match entry.writer with
-          | Some w when w = requester ->
-              (* Stale fault: a racing write fault from the same kernel
-                 already made it the writer. Reconfirm ownership; do NOT
-                 downgrade it or enrol it as a reader. *)
-              {
-                grant_version = latest_version proc vpn;
-                grant_writable = true;
-                grant_from = requester;
-                grant_carries_data = false;
-                grant_ack = 0;
-              }
-          | writer ->
-              (match writer with
-              | Some w when w = origin.kid ->
-                  local_downgrade cluster origin ~pid:proc.pid ~vpn;
-                  entry.writer <- None;
-                  entry.readers <- [ w ]
-              | Some w ->
-                  Proto_util.broadcast_and_wait cluster ~src:origin
-                    ~targets:[ w ] ~make:(fun ~ack_ticket ->
-                      Page_downgrade { pid = proc.pid; vpn; ack_ticket });
-                  entry.writer <- None;
-                  entry.readers <- [ w ]
-              | None -> ());
-              if not (List.mem requester entry.readers) then
-                entry.readers <- requester :: entry.readers;
-              {
-                grant_version = latest_version proc vpn;
-                grant_writable = false;
-                grant_from = origin.kid;
-                grant_carries_data = not requester_was_reader;
-                grant_ack = 0;
-              })
-
-(** Message handler for a remote kernel's fault. Runs at origin. The
-    page's fault lock is held from the directory update until the
-    requester acks that it installed the grant. *)
-let handle_page_req cluster (kernel : kernel) ~src ~ticket ~pid ~vpn ~access =
-  match Hashtbl.find_opt cluster.procs pid with
-  | Some proc when proc.origin = kernel.kid ->
-      let lock = fault_lock proc vpn (eng cluster) in
-      Mutex.with_lock lock (fun () ->
-          let grant =
-            origin_service_locked cluster kernel proc ~requester:src ~vpn
-              ~access
-          in
-          let installed = Msg.Gather.create (eng cluster) ~expected:1 in
-          let ack_ticket =
-            Msg.Rpc.register kernel.rpc (fun (_ : payload) ->
-                Msg.Gather.ack installed)
-          in
-          send cluster ~src:kernel.kid ~dst:src
-            (Page_resp
-               { ticket; result = Ok { grant with grant_ack = ack_ticket } });
-          Msg.Gather.wait installed)
-  | _ ->
-      send cluster ~src:kernel.kid ~dst:src
-        (Page_resp { ticket; result = Error "not the origin of this pid" })
-
-(* ------------------------------------------------------------------ *)
-(* Fault path on the kernel where the thread runs.                     *)
-(* ------------------------------------------------------------------ *)
-
-let install cluster (kernel : kernel) (r : replica) ~vpn ~(grant : page_grant)
-    =
-  let p = params cluster in
-  let existing = K.Page_table.get r.pt ~vpn in
-  (match existing with
-  | Some _ when not grant.grant_carries_data ->
-      (* Permission upgrade on data we already hold. *)
-      ()
-  | Some pte ->
-      (* Refresh in place (e.g. we were a reader and got fresh data). *)
-      ignore pte
-  | None ->
-      Proto_util.kernel_work cluster frame_alloc_cost;
-      let node =
-        Hw.Topology.socket_of cluster.machine.Hw.Machine.topo kernel.home_core
-      in
-      let frame = Hw.Memory.alloc_exn cluster.machine.Hw.Machine.mem ~node in
-      K.Page_table.set r.pt ~vpn { K.Page_table.frame; writable = false });
-  (match K.Page_table.get r.pt ~vpn with
-  | Some pte ->
-      K.Page_table.set r.pt ~vpn
-        { pte with K.Page_table.writable = grant.grant_writable }
-  | None -> assert false);
-  Hashtbl.replace r.page_data vpn grant.grant_version;
-  Proto_util.kernel_work cluster p.Hw.Params.page_table_walk
-
-(** Service a fault for a thread of [r] running on [kernel] at [core].
-    Returns the fault classification it serviced (for stats). *)
-let service_fault cluster (kernel : kernel) (r : replica) ~core ~addr ~access
-    =
-  let vpn = K.Page_table.vpn_of_addr addr in
-  let proc = r.proc in
-  m_incr cluster ~kernel:kernel.kid "fault.serviced";
-  trace cluster ~cat:"fault" "k%d %s fault pid %d vpn %d" kernel.kid
-    (match access with K.Fault.Read -> "read" | K.Fault.Write -> "write")
-    proc.pid vpn;
-  if kernel.kid = proc.origin then begin
-    (* Local directory: no messages unless other kernels hold the page.
-       Serve and install under the fault lock, like remote grants. *)
-    let lock = fault_lock proc vpn (eng cluster) in
-    Mutex.with_lock lock (fun () ->
-        let grant =
-          origin_service_locked cluster kernel proc ~requester:kernel.kid
-            ~vpn ~access
-        in
-        (* First touch of a fresh anonymous page: demand-zero. *)
-        if grant.grant_version = 0 && not (Hashtbl.mem proc.page_version vpn)
-        then Proto_util.kernel_work cluster zero_page_cost;
-        install cluster kernel r ~vpn ~grant)
-  end
-  else begin
-    let resp =
-      Proto_util.call_from cluster ~src:kernel ~src_core:core
-        ~dst:proc.origin (fun ~ticket ->
-          Page_req { ticket; pid = proc.pid; vpn; access })
-    in
-    match resp with
-    | Page_resp { result = Ok grant; _ } ->
-        install cluster kernel r ~vpn ~grant;
-        (* Tell the origin the grant is live; it holds the page's fault
-           lock until this lands. *)
-        send_from cluster ~src:kernel.kid ~src_core:core ~dst:proc.origin
-          (Page_ack { ticket = grant.grant_ack })
-    | Page_resp { result = Error e; _ } -> failwith ("page fault: " ^ e)
-    | _ -> assert false
-  end
-
-(** Memory access by an application thread: classify against the local
-    replica and fault if needed. [Ok classification] tells the caller what
-    was needed; [Error] is a segfault. *)
 let touch cluster (kernel : kernel) (r : replica) ~core ~addr ~access :
     (K.Fault.classification, string) result =
-  let p = params cluster in
-  Engine.sleep (eng cluster) p.Hw.Params.l1_hit;
-  match K.Fault.classify r.vmas r.pt ~addr ~access with
-  | K.Fault.Present -> Ok K.Fault.Present
-  | K.Fault.Segv -> Error "segmentation fault"
-  | (K.Fault.Minor | K.Fault.Cow_or_upgrade) as c ->
-      (* Trap into the kernel and service. *)
-      Proto_util.kernel_work cluster p.Hw.Params.page_table_walk;
-      service_fault cluster kernel r ~core ~addr ~access;
-      Ok c
+  let (module C) = impl cluster in
+  C.touch cluster kernel r ~core ~addr ~access
+
+(** Route one coherence request to the active protocol's handler. *)
+let handle cluster (kernel : kernel) ~src ~cause req =
+  let (module C) = impl cluster in
+  C.handle cluster kernel ~src ~cause req
+
+let drop_range_local cluster (kernel : kernel) (r : replica) ~start ~len =
+  let (module C) = impl cluster in
+  C.drop_range_local cluster kernel r ~start ~len
+
+(** Directory cleanup for a byte range, initiated at the origin.
+    [keep_versions] is the mprotect reset (directory entries and fault
+    locks go, committed content stays); munmap passes [false]. Under the
+    sharded protocol this batches drop messages to remote home shards. *)
+let drop_range_directory cluster (kernel : kernel) (proc : process) ~start
+    ~len ~keep_versions =
+  let (module C) = impl cluster in
+  C.drop_range_directory cluster kernel proc ~start ~len ~keep_versions
 
 (** Commit a write on a page the calling kernel owns writable: bumps the
     logical content version (plain memory write on real hardware). *)
 let write_commit (r : replica) ~addr =
   let vpn = K.Page_table.vpn_of_addr addr in
   let proc = r.proc in
-  let v = latest_version proc vpn + 1 in
+  let v =
+    (match Hashtbl.find_opt proc.page_version vpn with
+    | Some v -> v
+    | None -> 0)
+    + 1
+  in
   Hashtbl.replace proc.page_version vpn v;
   Hashtbl.replace r.page_data vpn v
 
@@ -362,46 +77,3 @@ let write_commit (r : replica) ~addr =
 let read_version (r : replica) ~addr =
   let vpn = K.Page_table.vpn_of_addr addr in
   match Hashtbl.find_opt r.page_data vpn with Some v -> v | None -> 0
-
-(* ------------------------------------------------------------------ *)
-(* munmap support                                                      *)
-(* ------------------------------------------------------------------ *)
-
-(** Drop local translations and frames for a byte range (on munmap).
-    Within one kernel this is exactly SMP's unmap path: the initiating
-    core flushes locally and TLB-shootdown-IPIs every other core running
-    a member of the process on this kernel. *)
-let drop_range_local cluster (kernel : kernel) (r : replica) ~start ~len =
-  let p = params cluster in
-  let removed = K.Page_table.clear_range r.pt ~start ~len in
-  List.iter
-    (fun (pte : K.Page_table.pte) ->
-      Hw.Memory.free cluster.machine.Hw.Machine.mem pte.K.Page_table.frame)
-    removed;
-  let first = K.Page_table.vpn_of_addr start in
-  let last = K.Page_table.vpn_of_addr (start + len - 1) in
-  for vpn = first to last do
-    Hashtbl.remove r.page_data vpn
-  done;
-  if removed <> [] then begin
-    Proto_util.kernel_work cluster p.Hw.Params.tlb_flush_local;
-    let victims =
-      min
-        (max 0 (List.length r.members - 1))
-        (List.length kernel.cores - 1)
-    in
-    if victims > 0 then
-      Proto_util.kernel_work cluster
-        (Time.add p.Hw.Params.ipi_latency
-           (Time.scale victims p.Hw.Params.tlb_shootdown_per_core))
-  end
-
-(** Directory cleanup for a byte range; must run at the origin. *)
-let drop_range_directory (proc : process) ~start ~len =
-  let first = K.Page_table.vpn_of_addr start in
-  let last = K.Page_table.vpn_of_addr (start + len - 1) in
-  for vpn = first to last do
-    Hashtbl.remove proc.directory vpn;
-    Hashtbl.remove proc.page_version vpn;
-    Hashtbl.remove proc.fault_locks vpn
-  done

@@ -18,9 +18,11 @@ type pid = Kernelmodel.Ids.pid
 type tid = Kernelmodel.Ids.tid
 
 (** Directory entry for one virtual page of a distributed process, kept at
-    the origin kernel. Invariant: [writer] and a non-empty [readers] are
-    mutually exclusive. *)
-type page_loc = {
+    the kernel the active coherence protocol homes the page on (the origin
+    under [Origin_home], a hash of the vpn under [Sharded_dir]).
+    Re-exported from {!Coherence.Dir} so tests and tools can keep using
+    [Types.page_loc]. *)
+type page_loc = Coherence.Dir.entry = {
   mutable writer : int option;  (** kernel with the sole writable copy. *)
   mutable readers : int list;  (** kernels holding read-only replicas. *)
 }
@@ -35,14 +37,16 @@ type process = {
   origin : int;
   mutable member_kernels : int list;  (** kernels hosting live members. *)
   mutable live_threads : int;
-  directory : (int, page_loc) Hashtbl.t;  (** vpn -> location (origin only) *)
+  directory : (int, page_loc) Hashtbl.t;
+      (** vpn -> location; each entry is only touched by handlers running
+          on the page's home kernel (protocol-dependent). *)
   page_version : (int, int) Hashtbl.t;
       (** vpn -> logical content version; bumped on every write so tests can
           check read-after-write coherence across kernels. *)
   dfutex_queues : (int, dfutex_waiter Queue.t) Hashtbl.t;
       (** futex addr -> global wait queue (origin only). *)
   fault_locks : (int, Mutex.t) Hashtbl.t;
-      (** vpn -> origin-side per-page fault serialisation lock. *)
+      (** vpn -> home-side per-page fault serialisation lock. *)
   exit_waiters : unit Waitq.t;  (** fibers in waitpid-like waits. *)
 }
 
@@ -132,22 +136,11 @@ type payload =
           a faulting address asks the origin before declaring a segfault. *)
   | Vma_lookup_resp of { ticket : int; vma : Kernelmodel.Vma.vma option }
   (* --- page coherence --- *)
-  | Page_req of {
-      ticket : int;
-      pid : pid;
-      vpn : int;
-      access : Kernelmodel.Fault.access;
-    }
-  | Page_resp of {
-      ticket : int;
-      result : (page_grant, string) result;
-    }
-  | Page_invalidate of { pid : pid; vpn : int; ack_ticket : int }
-  | Page_downgrade of { pid : pid; vpn : int; ack_ticket : int }
-  | Page_pull of { ticket : int; pid : pid; vpn : int }
-      (** origin asks the current writer to hand the page back. *)
-  | Page_pull_resp of { ticket : int; version : int }
-  | Page_ack of { ticket : int }
+  | Coh of Coherence.Wire.t
+      (** the active coherence protocol's vocabulary (fault/pull/
+          invalidate/downgrade/drop-range and their responses); requests
+          route to the protocol's handler, responses complete the ticket
+          named by {!Coherence.Wire.resp_ticket}. *)
   (* --- distributed futex --- *)
   | Futex_wait_req of { pid : pid; addr : int; waiter : dfutex_waiter }
   | Futex_wait_cancel of { pid : pid; addr : int; wake_ticket : int }
@@ -179,19 +172,6 @@ and vfs_op =
   | Vfs_write of { fd : int; len : int }
   | Vfs_seek of { fd : int; pos : int }
   | Vfs_close of int
-
-and page_grant = {
-  grant_version : int;  (** content version shipped with the page. *)
-  grant_writable : bool;
-  grant_from : int;  (** kernel that supplied the data (for cost model). *)
-  grant_carries_data : bool;
-      (** false when the requester already holds current data (permission
-          upgrade) — the response is then header-sized, not page-sized. *)
-  grant_ack : int;
-      (** ticket at the origin to acknowledge once the grant is installed;
-          the origin holds the page's fault lock until then. 0 for local
-          (origin-side) grants, which install under the lock directly. *)
-}
 
 (** Instruction-set architecture of a kernel. The ICDCS'15 system is
     homogeneous x86; heterogeneous-ISA migration (the project's published
@@ -243,6 +223,9 @@ type cluster = {
   procs : (pid, process) Hashtbl.t;  (** pid -> master record (at origin). *)
   stride : int;  (** number of kernels; pid/tid partition stride. *)
   opts : options;
+  coh_stats : Coherence.Stats.t;
+      (** always-on coherence traffic counters (zero simulated cost);
+          what R3 reads to compare directory load per protocol. *)
   vfs : vfs_state;  (** served by kernel 0 (the device owner). *)
   mutable tracer : Trace.t option;
       (** protocol-event trace, when enabled ([Cluster.enable_tracing]). *)
@@ -268,6 +251,10 @@ and options = {
   read_replication : bool;
       (** allow read-only page replicas; when false every remote fault
           migrates the page exclusively (ablation). *)
+  coherence : Coherence.Protocol.t;
+      (** which page-coherence protocol the cluster runs: the paper's
+          origin-home directory (default) or the vpn-sharded directory
+          (see {!Coherence}). *)
   migration_retry : Msg.Rpc.retry_policy option;
       (** when set, migration requests are retransmitted under this policy
           instead of waiting forever, and a migration that exhausts its
@@ -284,6 +271,7 @@ let default_options =
     use_dummy_pool = true;
     dummy_pool_size = 8;
     read_replication = true;
+    coherence = Coherence.Protocol.Origin_home;
     migration_retry = None;
   }
 
@@ -337,14 +325,7 @@ module Wire = struct
     | Vma_fetch_resp { vmas; _ } -> header + vma_list (Some vmas)
     | Vma_lookup_req _ -> header + 8
     | Vma_lookup_resp _ -> header + vma_bytes
-    | Page_req _ -> header + 16
-    | Page_resp { result = Ok g; _ } ->
-        header + if g.grant_carries_data then 4096 else 16
-    | Page_resp { result = Error _; _ } -> header
-    | Page_invalidate _ | Page_downgrade _ -> header + 8
-    | Page_pull _ -> header + 8
-    | Page_pull_resp _ -> header + 4096
-    | Page_ack _ -> header
+    | Coh w -> header + Coherence.Wire.size w
     | Futex_wait_req _ | Futex_wait_cancel _ | Futex_wake_req _
     | Futex_wake_resp _ | Futex_grant _ ->
         header + 24

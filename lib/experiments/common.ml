@@ -32,8 +32,19 @@ let machine (ctx : Run_ctx.t) ?seed () =
 let run_popcorn (ctx : Run_ctx.t) ?seed ?opts ?(kernels = default_kernels) f :
     Time.t =
   let m = machine ctx ?seed () in
+  (* Experiments that pin their own options keep full control; everything
+     else inherits the run's coherence protocol (the --coherence flag). *)
+  let opts =
+    match opts with
+    | Some o -> o
+    | None ->
+        {
+          Popcorn.Types.default_options with
+          Popcorn.Types.coherence = ctx.Run_ctx.coherence;
+        }
+  in
   let cluster =
-    Popcorn.Cluster.boot ?opts m ~kernels
+    Popcorn.Cluster.boot ~opts m ~kernels
       ~cores_per_kernel:(total_cores / kernels)
   in
   (match ctx.Run_ctx.sink with

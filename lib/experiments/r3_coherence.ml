@@ -1,0 +1,154 @@
+(** R3 — Coherence protocol crossover: kernels × write-sharing intensity.
+
+    One worker per kernel hammers a mapping that mixes a small hot region
+    (every worker writes the same pages — ownership bounces, so nearly
+    every hot write faults through the directory) with a per-worker
+    private region (faults once, then hits). The share knob is the
+    probability a write goes to the hot region.
+
+    The experiment runs under the protocol the run context carries (the
+    [--coherence] CLI flag), so comparing protocols is two runs:
+
+      popcornsim run R3 --coherence origin
+      popcornsim run R3 --coherence sharded
+
+    Expected shape: origin-home wins the low-kernel / low-sharing corner
+    (all directory state is origin-local, and the origin worker faults
+    without messages), while the sharded directory wins the high-kernel /
+    high-sharing corner, where origin-home serializes every fault, pull
+    and invalidation through one kernel's message ring and fault locks.
+    Latencies are per-write fault-service times (p50/p99/max); directory
+    hops and invalidation counts come from the cluster's always-on
+    coherence counters. *)
+
+open Sim
+open Popcorn
+
+let page = Page_coherence.page_size
+
+(* Hot pages: few enough to contend, spread over several sharded homes. *)
+let hot_pages = 8
+let priv_pages = 8
+
+type cell = {
+  faults : int;
+  dir_hops : int;
+  invals : int;
+  max_fanout : int;
+  hist : Stats.Histogram.t;
+}
+
+(* A write will trap iff the local PTE is absent or read-only; checking
+   costs nothing in simulated time, so the histogram records exactly the
+   fault-service path, not cache hits. *)
+let will_write_fault (r : Types.replica) ~addr =
+  let vpn = Kernelmodel.Page_table.vpn_of_addr addr in
+  match Kernelmodel.Page_table.get r.Types.pt ~vpn with
+  | Some pte -> not pte.Kernelmodel.Page_table.writable
+  | None -> true
+
+let run_cell (ctx : Run_ctx.t) ~kernels ~share_pct ~ops =
+  let hist = Stats.Histogram.create () in
+  let counters = ref (0, 0, 0, 0) in
+  let opts =
+    {
+      Types.default_options with
+      Types.coherence = ctx.Run_ctx.coherence;
+    }
+  in
+  ignore
+    (Common.run_popcorn ctx ~opts ~kernels (fun cluster th ->
+         let eng = Types.eng cluster in
+         let len = (hot_pages + (kernels * priv_pages)) * page in
+         let base =
+           match Api.mmap th ~len ~prot:Kernelmodel.Vma.prot_rw with
+           | Ok v -> v.Kernelmodel.Vma.start
+           | Error e -> failwith e
+         in
+         let hot_addr i = base + (i * page) in
+         let priv_addr w i =
+           base + ((hot_pages + (w * priv_pages) + i) * page)
+         in
+         let latch = Workloads.Latch.create eng kernels in
+         for w = 0 to kernels - 1 do
+           ignore
+             (Api.spawn th ~target:w (fun worker ->
+                  let rng =
+                    Prng.create
+                      ~seed:
+                        (ctx.Run_ctx.seed + (1009 * kernels)
+                        + (31 * share_pct) + w)
+                  in
+                  let r = Api.replica worker in
+                  for _ = 1 to ops do
+                    let addr =
+                      if Prng.int rng 100 < share_pct then
+                        hot_addr (Prng.int rng hot_pages)
+                      else priv_addr w (Prng.int rng priv_pages)
+                    in
+                    let faulting = will_write_fault r ~addr in
+                    let t0 = Engine.now eng in
+                    (match Api.write worker ~addr with
+                    | Ok () -> ()
+                    | Error e -> failwith e);
+                    if faulting then
+                      Stats.Histogram.add hist
+                        (Common.ns (Time.sub (Engine.now eng) t0))
+                  done;
+                  Workloads.Latch.arrive latch))
+         done;
+         Workloads.Latch.wait latch;
+         let s = cluster.Types.coh_stats in
+         counters :=
+           ( s.Coherence.Stats.faults,
+             s.Coherence.Stats.dir_hops,
+             s.Coherence.Stats.invalidations,
+             s.Coherence.Stats.max_fanout )));
+  let faults, dir_hops, invals, max_fanout = !counters in
+  { faults; dir_hops; invals; max_fanout; hist }
+
+let run (ctx : Run_ctx.t) =
+  let quick = ctx.Run_ctx.quick in
+  let kernel_counts = if quick then [ 4; 16 ] else [ 2; 4; 8; 16 ] in
+  let shares = if quick then [ 10; 90 ] else [ 0; 25; 90 ] in
+  let ops = if quick then 30 else 100 in
+  let t =
+    Stats.Table.create
+      ~title:
+        (Printf.sprintf
+           "R3: fault service under %s coherence (%d writes/worker)"
+           (Coherence.Protocol.to_string ctx.Run_ctx.coherence)
+           ops)
+      ~columns:
+        [
+          "kernels";
+          "shared%";
+          "faults";
+          "dir hops";
+          "invals";
+          "max fanout";
+          "p50";
+          "p99";
+          "max";
+        ]
+  in
+  List.iter
+    (fun kernels ->
+      List.iter
+        (fun share_pct ->
+          let c = run_cell ctx ~kernels ~share_pct ~ops in
+          Stats.Table.add_row t
+            [
+              string_of_int kernels;
+              string_of_int share_pct;
+              string_of_int c.faults;
+              string_of_int c.dir_hops;
+              string_of_int c.invals;
+              string_of_int c.max_fanout;
+              Stats.Table.fmt_ns (Stats.Histogram.median c.hist);
+              Stats.Table.fmt_ns (Stats.Histogram.p99 c.hist);
+              Stats.Table.fmt_ns (Stats.Histogram.max c.hist);
+            ])
+        shares)
+    kernel_counts;
+  [ t ]

@@ -70,6 +70,11 @@ let all : t list =
       title = "Health-aware placement under faults (open-loop server load)";
       run = R2_placement.run;
     };
+    {
+      id = "R3";
+      title = "Coherence protocol crossover (kernels x write-sharing)";
+      run = R3_coherence.run;
+    };
   ]
 
 let find id =
@@ -90,9 +95,10 @@ type outcome = {
   output : string;
 }
 
-let run_one ?(quick = false) ?(observe = false) ?seed (e : t) : outcome =
+let run_one ?(quick = false) ?(observe = false) ?seed ?coherence (e : t) :
+    outcome =
   let sink = if observe then Some (Obs.Sink.create ()) else None in
-  let ctx = Run_ctx.create ?sink ?seed ~quick () in
+  let ctx = Run_ctx.create ?sink ?seed ?coherence ~quick () in
   let t0 = Unix.gettimeofday () in
   let tables = e.run ctx in
   let host_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
@@ -132,13 +138,14 @@ let run_one ?(quick = false) ?(observe = false) ?seed (e : t) : outcome =
     experiment durations vary by an order of magnitude. *)
 let default_jobs () = Domain.recommended_domain_count ()
 
-let run_all ?quick ?observe ?seed ?jobs () : outcome list =
+let run_all ?quick ?observe ?seed ?coherence ?jobs () : outcome list =
   let specs = Array.of_list all in
   let n = Array.length specs in
   let jobs =
     max 1 (min n (match jobs with Some j -> j | None -> default_jobs ()))
   in
-  if jobs = 1 then List.map (fun e -> run_one ?quick ?observe ?seed e) all
+  if jobs = 1 then
+    List.map (fun e -> run_one ?quick ?observe ?seed ?coherence e) all
   else begin
     let results = Array.make n None in
     let next = Atomic.make 0 in
@@ -146,7 +153,8 @@ let run_all ?quick ?observe ?seed ?jobs () : outcome list =
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
-          results.(i) <- Some (run_one ?quick ?observe ?seed specs.(i));
+          results.(i) <-
+            Some (run_one ?quick ?observe ?seed ?coherence specs.(i));
           loop ()
         end
       in

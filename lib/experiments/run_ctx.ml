@@ -18,6 +18,10 @@ type t = {
           run's sink (the span recorder separates them by run index). *)
   seed : int;  (** Machine/PRNG seed for every machine the run boots. *)
   quick : bool;  (** Shrink parameter sweeps for a fast run. *)
+  coherence : Coherence.Protocol.t;
+      (** Page-coherence protocol every Popcorn cluster of the run boots
+          with (the CLI [--coherence] flag), unless an experiment pins its
+          own options explicitly. *)
   out : Buffer.t;
       (** Private output buffer: anything an experiment wants to narrate
           goes here, never to stdout, so concurrent runs cannot interleave.
@@ -27,8 +31,9 @@ type t = {
 (** The historical default; previously hard-coded in [Common.machine]. *)
 let default_seed = 42
 
-let create ?sink ?(seed = default_seed) ?(quick = false) () =
-  { sink; seed; quick; out = Buffer.create 1024 }
+let create ?sink ?(seed = default_seed) ?(quick = false)
+    ?(coherence = Coherence.Protocol.Origin_home) () =
+  { sink; seed; quick; coherence; out = Buffer.create 1024 }
 
 let printf t fmt = Printf.ksprintf (Buffer.add_string t.out) fmt
 let output t = Buffer.contents t.out

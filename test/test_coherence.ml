@@ -27,6 +27,11 @@ let in_proc ?(origin = 0) (machine, cluster) main =
 
 let ok = function Ok v -> v | Error e -> Alcotest.fail e
 
+(* Scenario tests below run under both coherence protocols: the memory
+   model they check is protocol-independent by design. *)
+let proto_opts protocol =
+  { Types.default_options with Types.coherence = protocol }
+
 (* ------------------------------------------------------------------ *)
 (* Invariant checkers (run at quiescence)                              *)
 (* ------------------------------------------------------------------ *)
@@ -143,8 +148,8 @@ let check_all cluster pid =
 (* Scenario tests                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let test_write_read_across_kernels () =
-  let sys = mk () in
+let test_write_read_across_kernels protocol () =
+  let sys = mk ~opts:(proto_opts protocol) () in
   let _, cluster = sys in
   let the_pid = ref 0 in
   in_proc sys (fun th ->
@@ -168,8 +173,8 @@ let test_write_read_across_kernels () =
         (ok (Api.read th ~addr)));
   check_all cluster !the_pid
 
-let test_write_invalidates_readers () =
-  let sys = mk () in
+let test_write_invalidates_readers protocol () =
+  let sys = mk ~opts:(proto_opts protocol) () in
   let _, cluster = sys in
   let the_pid = ref 0 in
   in_proc sys (fun th ->
@@ -423,11 +428,162 @@ let test_error_paths () =
       | Ok () -> Alcotest.fail "write to r/o accepted")
 
 (* ------------------------------------------------------------------ *)
+(* Cross-protocol equivalence                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Both protocols implement the same single-writer memory model; they may
+   only differ in timing and message routing. A seeded, strictly
+   sequential op stream — one thread migrating across all four kernels,
+   reading, writing and punching munmap holes — must therefore produce
+   identical read values, identical error steps and an identical final
+   page-version table under either protocol. *)
+type proto_trace = {
+  reads : (int * int) list;  (** (step, value read) *)
+  errors : (int * string) list;  (** (step, segfault/error text) *)
+  versions : (int * int) list;  (** final (vpn, version), sorted *)
+}
+
+let protocol_trace protocol ~seed =
+  let sys = mk ~kernels:4 ~opts:(proto_opts protocol) ~seed () in
+  let machine, cluster = sys in
+  let the_proc = ref None in
+  let reads = ref [] and errors = ref [] in
+  Sim.Engine.spawn machine.Hw.Machine.eng (fun () ->
+      let proc =
+        Api.start_process cluster ~origin:0 (fun th ->
+            let rng = Sim.Prng.create ~seed in
+            let shared = ok (Api.mmap th ~len:(24 * page) ~prot:K.Vma.prot_rw) in
+            let base = shared.K.Vma.start in
+            let record step = function
+              | Ok v -> reads := (step, v) :: !reads
+              | Error e -> errors := (step, e) :: !errors
+            in
+            for step = 1 to 150 do
+              let addr = base + (Sim.Prng.int rng 24 * page) in
+              match Sim.Prng.int rng 12 with
+              | 0 | 1 | 2 | 3 -> record step (Api.read th ~addr)
+              | 4 | 5 | 6 | 7 | 8 ->
+                  record step (Result.map (fun () -> -1) (Api.write th ~addr))
+              | 9 | 10 -> ignore (Api.migrate th ~dst:(Sim.Prng.int rng 4))
+              | _ ->
+                  let len = (1 + Sim.Prng.int rng 4) * page in
+                  record step
+                    (Result.map (fun () -> -2) (Api.munmap th ~start:addr ~len))
+            done)
+      in
+      the_proc := Some proc;
+      Api.wait_exit cluster proc);
+  run machine;
+  let proc = Option.get !the_proc in
+  let versions =
+    Hashtbl.fold (fun vpn v acc -> (vpn, v) :: acc) proc.Types.page_version []
+    |> List.sort compare
+  in
+  { reads = List.rev !reads; errors = List.rev !errors; versions }
+
+let test_protocol_equivalence () =
+  List.iter
+    (fun seed ->
+      let a = protocol_trace Coherence.Protocol.Origin_home ~seed in
+      let b = protocol_trace Coherence.Protocol.Sharded_dir ~seed in
+      Alcotest.(check (list (pair int int))) "read values agree" a.reads b.reads;
+      Alcotest.(check (list (pair int string)))
+        "segfault steps agree" a.errors b.errors;
+      Alcotest.(check (list (pair int int)))
+        "final page versions agree" a.versions b.versions)
+    [ 11; 23; 4242 ]
+
+(* ------------------------------------------------------------------ *)
+(* drop_range edge cases                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* A partial munmap whose range spans origin-owned, remotely-owned,
+   read-replicated and never-touched pages must clean up exactly the
+   directory entries, versions and fault locks inside the hole — on
+   whichever kernel homes each page — and leave the rest coherent. *)
+let test_drop_range_edges protocol () =
+  let sys = mk ~opts:(proto_opts protocol) () in
+  let _, cluster = sys in
+  let the_pid = ref 0 in
+  in_proc sys (fun th ->
+      the_pid := Api.pid th;
+      let vma = ok (Api.mmap th ~len:(8 * page) ~prot:K.Vma.prot_rw) in
+      let base = vma.K.Vma.start in
+      let vpn i = K.Page_table.vpn_of_addr (base + (i * page)) in
+      (* Pages 0,1 owned at the origin... *)
+      ok (Api.write th ~addr:base);
+      ok (Api.write th ~addr:(base + page));
+      let latch = Workloads.Latch.create (Types.eng cluster) 1 in
+      ignore
+        (Api.spawn th ~target:2 (fun child ->
+             (* ...3,4 owned on kernel 2, 1 also read-replicated there... *)
+             ok (Api.write child ~addr:(base + (3 * page)));
+             ok (Api.write child ~addr:(base + (4 * page)));
+             ignore (ok (Api.read child ~addr:(base + page)));
+             Workloads.Latch.arrive latch));
+      Workloads.Latch.wait latch;
+      (* ...and 6,7 never touched. Unmap the middle six pages. *)
+      ok (Api.munmap th ~start:(base + page) ~len:(6 * page));
+      let proc = th.Api.proc in
+      for i = 1 to 6 do
+        Alcotest.(check bool)
+          (Printf.sprintf "page %d directory entry dropped" i)
+          true
+          (Option.is_none (Hashtbl.find_opt proc.Types.directory (vpn i)));
+        Alcotest.(check bool)
+          (Printf.sprintf "page %d version dropped" i)
+          true
+          (Option.is_none (Hashtbl.find_opt proc.Types.page_version (vpn i)));
+        Alcotest.(check bool)
+          (Printf.sprintf "page %d fault lock dropped" i)
+          true
+          (Option.is_none (Hashtbl.find_opt proc.Types.fault_locks (vpn i)))
+      done;
+      (* Outside the hole page 0 keeps its history... *)
+      Alcotest.(check int) "page 0 still coherent" 1 (ok (Api.read th ~addr:base));
+      (* ...while the hole segfaults on every kernel. *)
+      (match Api.read th ~addr:(base + (3 * page)) with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "read in hole succeeded");
+      let latch2 = Workloads.Latch.create (Types.eng cluster) 1 in
+      ignore
+        (Api.spawn th ~target:2 (fun child ->
+             (match Api.read child ~addr:(base + (4 * page)) with
+             | Error _ -> ()
+             | Ok _ -> Alcotest.fail "remote read in hole succeeded");
+             Workloads.Latch.arrive latch2));
+      Workloads.Latch.wait latch2);
+  check_all cluster !the_pid
+
+(* The documented trade-off of the sharded directory: pages hash to homes
+   irrespective of the origin, so even a single-kernel process messages the
+   remote shards its pages land on (cf. the origin-home zero-message test
+   above). *)
+let test_sharded_homes_off_origin () =
+  let machine, cluster =
+    mk ~opts:(proto_opts Coherence.Protocol.Sharded_dir) ()
+  in
+  Sim.Engine.spawn machine.Hw.Machine.eng (fun () ->
+      let proc =
+        Api.start_process cluster ~origin:1 (fun th ->
+            let vma = ok (Api.mmap th ~len:(8 * page) ~prot:K.Vma.prot_rw) in
+            for i = 0 to 7 do
+              ok (Api.write th ~addr:(vma.K.Vma.start + (i * page)))
+            done)
+      in
+      Api.wait_exit cluster proc);
+  Msg.Transport.reset_stats cluster.Types.fabric;
+  run machine;
+  let st = Msg.Transport.stats cluster.Types.fabric in
+  Alcotest.(check bool) "remote shards were consulted" true
+    (st.Msg.Transport.sent > 0)
+
+(* ------------------------------------------------------------------ *)
 (* Randomized workload + invariant check                               *)
 (* ------------------------------------------------------------------ *)
 
-let random_workload ~seed ~kernels ~threads ~steps () =
-  let sys = mk ~kernels ~seed () in
+let random_workload ?opts ~seed ~kernels ~threads ~steps () =
+  let sys = mk ~kernels ?opts ~seed () in
   let machine, cluster = sys in
   let the_pid = ref 0 in
   let rng = Sim.Prng.create ~seed in
@@ -518,6 +674,16 @@ let test_random_invariants () =
       check_all cluster pid)
     [ 1; 2; 3; 42; 1337 ]
 
+let test_random_invariants_sharded () =
+  let opts = proto_opts Coherence.Protocol.Sharded_dir in
+  List.iter
+    (fun seed ->
+      let cluster, pid =
+        random_workload ~opts ~seed ~kernels:4 ~threads:8 ~steps:30 ()
+      in
+      check_all cluster pid)
+    [ 1; 2; 42; 1337 ]
+
 let prop_random_coherence =
   QCheck.Test.make ~name:"random workload keeps coherence invariants"
     ~count:15
@@ -534,10 +700,16 @@ let () =
     [
       ( "coherence",
         [
-          Alcotest.test_case "write/read across kernels" `Quick
-            test_write_read_across_kernels;
-          Alcotest.test_case "write invalidates readers" `Quick
-            test_write_invalidates_readers;
+          Alcotest.test_case "write/read across kernels (origin)" `Quick
+            (test_write_read_across_kernels Coherence.Protocol.Origin_home);
+          Alcotest.test_case "write/read across kernels (sharded)" `Quick
+            (test_write_read_across_kernels Coherence.Protocol.Sharded_dir);
+          Alcotest.test_case "write invalidates readers (origin)" `Quick
+            (test_write_invalidates_readers Coherence.Protocol.Origin_home);
+          Alcotest.test_case "write invalidates readers (sharded)" `Quick
+            (test_write_invalidates_readers Coherence.Protocol.Sharded_dir);
+          Alcotest.test_case "protocols are memory-model equivalent" `Quick
+            test_protocol_equivalence;
         ] );
       ( "migration",
         [
@@ -554,6 +726,12 @@ let () =
             test_mprotect_enforced_remotely;
           Alcotest.test_case "local process sends no messages" `Quick
             test_no_messages_for_local_process;
+          Alcotest.test_case "drop_range edge cases (origin)" `Quick
+            (test_drop_range_edges Coherence.Protocol.Origin_home);
+          Alcotest.test_case "drop_range edge cases (sharded)" `Quick
+            (test_drop_range_edges Coherence.Protocol.Sharded_dir);
+          Alcotest.test_case "sharded homes pages off-origin" `Quick
+            test_sharded_homes_off_origin;
         ] );
       ( "groups+ssi",
         [
@@ -573,5 +751,7 @@ let () =
           test_whole_system_determinism
         :: Alcotest.test_case "seeded invariant runs" `Quick
           test_random_invariants
+        :: Alcotest.test_case "seeded invariant runs (sharded)" `Quick
+          test_random_invariants_sharded
         :: List.map QCheck_alcotest.to_alcotest [ prop_random_coherence ] );
     ]
