@@ -6,6 +6,7 @@
      all [--quick]      run every experiment
      demo [...]         boot a cluster and run a demonstration workload
      metrics demo [...] demo workload with the observability layer attached
+     profile <id> [...] run one experiment under the host-time profiler
      analyze <file>     causal / critical-path report over exported results
      diff <old> <new>   compare two results files metric-by-metric
 
@@ -331,6 +332,119 @@ let metrics_cmd =
        ~doc:"Observability: run instrumented workloads and export metrics.")
     [ metrics_demo_cmd ]
 
+(* --- profile --- *)
+
+let profile_cmd =
+  let id =
+    let doc = Printf.sprintf "Experiment id (%s)." experiment_ids in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
+  in
+  let top =
+    let doc = "Show the $(docv) hottest labels in the attribution table." in
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc)
+  in
+  let folded_out =
+    let doc =
+      "Write collapsed-stack (\"folded\") lines to $(docv) — feed to \
+       flamegraph.pl or any folded-format viewer."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "folded-out" ] ~docv:"FILE" ~doc)
+  in
+  let profile_out =
+    let doc =
+      "Write the raw profile (per-label attribution + scheduler-telemetry \
+       samples, schema popcornsim-profile-v1) to $(docv)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "profile-out" ] ~docv:"FILE" ~doc)
+  in
+  let overhead =
+    let doc =
+      "Instead of a profile, measure what observation costs: run the \
+       experiment three times (observability off, metrics+spans on, \
+       profiled) and report the host time of each."
+    in
+    Arg.(value & flag & info [ "overhead" ] ~doc)
+  in
+  let run id quick seed coherence top folded profile_out overhead =
+    match Experiments.Registry.find id with
+    | None -> `Error (false, "unknown experiment id: " ^ id)
+    | Some e ->
+        if overhead then begin
+          Printf.printf
+            "overhead comparison for %s%s (one run per mode; host time is \
+             noisy — indicative, not a benchmark):\n"
+            e.Experiments.Registry.id
+            (if quick then " --quick" else "");
+          let time label ~observe ~profile =
+            let o =
+              Experiments.Registry.run_one ~quick ~observe ~profile ~seed
+                ~coherence e
+            in
+            Printf.printf "  %-24s %8.0f ms  %9d events  %8.2f Mev/s\n" label
+              o.Experiments.Registry.host_ms
+              o.Experiments.Registry.events_processed
+              (if o.Experiments.Registry.host_ms > 0. then
+                 float_of_int o.Experiments.Registry.events_processed
+                 /. o.Experiments.Registry.host_ms /. 1e3
+               else 0.);
+            o.Experiments.Registry.host_ms
+          in
+          let off = time "observability off" ~observe:false ~profile:false in
+          let on = time "metrics+spans on" ~observe:true ~profile:false in
+          let prof = time "profiled" ~observe:false ~profile:true in
+          let rel x =
+            if off > 0. then Printf.sprintf "%+.1f%%" (100. *. (x -. off) /. off)
+            else "n/a"
+          in
+          Printf.printf
+            "  relative to off: metrics+spans %s, profiled %s (simulated \
+             results are bit-identical in all three modes)\n"
+            (rel on) (rel prof);
+          `Ok ()
+        end
+        else begin
+          let o =
+            Experiments.Registry.run_one ~quick ~profile:true ~seed ~coherence
+              e
+          in
+          print_string o.Experiments.Registry.output;
+          print_newline ();
+          let p =
+            match o.Experiments.Registry.prof with
+            | Some p -> p
+            | None -> assert false (* run_one ~profile:true always sets it *)
+          in
+          print_string
+            (Obs.Prof.report p ~host_ms:o.Experiments.Registry.host_ms ~top);
+          (match folded with
+          | None -> ()
+          | Some path ->
+              Out_channel.with_open_text path (fun oc ->
+                  Out_channel.output_string oc (Obs.Prof.folded p));
+              Printf.printf "wrote %s\n" path);
+          (match profile_out with
+          | None -> ()
+          | Some path ->
+              Obs.Json.to_file path
+                (Obs.Prof.to_json p ~host_ms:o.Experiments.Registry.host_ms);
+              Printf.printf "wrote %s\n" path);
+          `Ok ()
+        end
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run one experiment under the host-time profiler: wall-clock \
+          self-time, event counts and GC allocation attributed to fiber \
+          labels, plus scheduler telemetry sampled over virtual time. \
+          Profiling never perturbs simulated results.")
+    Term.(
+      ret
+        (const run $ id $ quick $ seed $ coherence $ top $ folded_out
+       $ profile_out $ overhead))
+
 (* --- analyze --- *)
 
 let analyze_cmd =
@@ -411,5 +525,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; all_cmd; demo_cmd; metrics_cmd; analyze_cmd;
-            diff_cmd ]))
+          [ list_cmd; run_cmd; all_cmd; demo_cmd; metrics_cmd; profile_cmd;
+            analyze_cmd; diff_cmd ]))

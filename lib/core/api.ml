@@ -89,7 +89,7 @@ let spawn th ?target body : K.Ids.tid =
     | None -> invalid_arg "spawn: created task vanished"
   in
   let child = { cluster = th.cluster; proc = th.proc; task = new_task } in
-  Sim.Engine.spawn (eng th.cluster)
+  Sim.Engine.spawn (eng th.cluster) ~tag:"popcorn"
     ~name:(Printf.sprintf "thread-%d" new_tid)
     (fun () ->
       schedule_in child;
@@ -220,7 +220,7 @@ let close_file th ~fd =
 let start_process cluster ~origin main : process =
   let proc, task = Cluster.create_process cluster ~origin_kernel:origin in
   let th = { cluster; proc; task } in
-  Sim.Engine.spawn (eng cluster)
+  Sim.Engine.spawn (eng cluster) ~tag:"popcorn"
     ~name:(Printf.sprintf "proc-%d-main" proc.pid)
     (fun () ->
       schedule_in th;
@@ -260,7 +260,7 @@ let fork th main : process =
     Fork.fork th.cluster kernel ~core:(current_core th) ~pid:th.proc.pid
   in
   let cth = { cluster = th.cluster; proc = child; task } in
-  Sim.Engine.spawn (eng th.cluster)
+  Sim.Engine.spawn (eng th.cluster) ~tag:"popcorn"
     ~name:(Printf.sprintf "proc-%d-main" child.pid)
     (fun () ->
       schedule_in cth;

@@ -182,7 +182,7 @@ let start ?(period = Sim.Time.ms 1) ?(threshold = 2) ?policy ?health
   in
   Array.iter
     (fun kernel ->
-      Sim.Engine.spawn (eng cluster)
+      Sim.Engine.spawn (eng cluster) ~tag:"popcorn"
         ~name:(Printf.sprintf "balancer-k%d" kernel.kid)
         (fun () ->
           let rec loop () =

@@ -121,7 +121,7 @@ let wait cluster (kernel : kernel) ~core ~pid ?timeout () ~addr : wait_result
                   if Msg.Rpc.forget kernel.rpc ~ticket then resume None));
           (* [enlist] may block (message send); run it as its own fiber so
              the suspension is already armed when any grant arrives. *)
-          Sim.Engine.spawn eng ~name:"futex-enlist" (fun () ->
+          Sim.Engine.spawn eng ~tag:"popcorn" ~name:"futex-enlist" (fun () ->
               enlist ticket))
     in
     match resp with

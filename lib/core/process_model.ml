@@ -23,7 +23,7 @@ let create_master cluster ~(origin : kernel) : process =
       page_version = Hashtbl.create 512;
       dfutex_queues = Hashtbl.create 16;
       fault_locks = Hashtbl.create 64;
-      exit_waiters = Sim.Waitq.create ();
+      exit_waiters = Sim.Waitq.create ~eng:(eng cluster) ();
     }
   in
   Hashtbl.replace cluster.procs pid proc;
@@ -79,7 +79,7 @@ let charge_task_acquisition cluster (r : replica) =
     Proto_util.kernel_work cluster dummy_adopt_cost;
     (* Refill the pool in the background, as Popcorn's refill worker does. *)
     let refill_target = opts.dummy_pool_size in
-    Sim.Engine.spawn (eng cluster) ~name:"dummy-refill" (fun () ->
+    Sim.Engine.spawn (eng cluster) ~tag:"popcorn" ~name:"dummy-refill" (fun () ->
         if r.dummy_pool < refill_target then begin
           Proto_util.kernel_work cluster task_construct_cost;
           r.dummy_pool <- r.dummy_pool + 1

@@ -25,6 +25,12 @@ let machine (ctx : Run_ctx.t) ?seed () =
   | Some s ->
       Hw.Machine.attach_obs m ~metrics:s.Obs.Sink.metrics
         ~spans:s.Obs.Sink.spans ~causal:s.Obs.Sink.causal ());
+  (match ctx.Run_ctx.prof with
+  | None -> ()
+  | Some p -> Obs.Prof.attach p m.Hw.Machine.eng);
+  (* Recorded so the run's total event count (events/sec) can be summed
+     after the body finishes; engines are small once their queues drain. *)
+  ctx.Run_ctx.engines <- m.Hw.Machine.eng :: ctx.Run_ctx.engines;
   m
 
 (** Run [f cluster root_thread] as the main thread of a fresh process on a

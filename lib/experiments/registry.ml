@@ -82,26 +82,37 @@ let find id =
 
 (** Everything one experiment run produced: its tables, the host wall-clock
     of the experiment body alone (sink post-processing and rendering are
-    excluded), the observability sink that was live during the run (when
-    [observe] was on), and the fully rendered textual output. [run_one]
-    never prints — callers decide when to emit [output], which is what lets
-    [run_all] overlap experiment execution while still presenting results
-    in registry order. *)
+    excluded), the total simulator events the body executed (with the
+    derived events/sec, the tracked engine-throughput metric — host time is
+    noisy, so both are informational: excluded from determinism digests and
+    from [diff] regression gating), the observability sink and profiler
+    that were live during the run (when [observe] / [profile] were on), and
+    the fully rendered textual output. [run_one] never prints — callers
+    decide when to emit [output], which is what lets [run_all] overlap
+    experiment execution while still presenting results in registry
+    order. *)
 type outcome = {
   spec : t;
   host_ms : float;
+  events_processed : int;
   tables : Stats.Table.t list;
   sink : Obs.Sink.t option;
+  prof : Obs.Prof.t option;
   output : string;
 }
 
-let run_one ?(quick = false) ?(observe = false) ?seed ?coherence (e : t) :
-    outcome =
+let events_per_sec ~events ~host_ms =
+  if host_ms > 0. then float_of_int events /. (host_ms /. 1e3) else 0.
+
+let run_one ?(quick = false) ?(observe = false) ?(profile = false) ?seed
+    ?coherence (e : t) : outcome =
   let sink = if observe then Some (Obs.Sink.create ()) else None in
-  let ctx = Run_ctx.create ?sink ?seed ?coherence ~quick () in
+  let prof = if profile then Some (Obs.Prof.create ()) else None in
+  let ctx = Run_ctx.create ?sink ?prof ?seed ?coherence ~quick () in
   let t0 = Unix.gettimeofday () in
   let tables = e.run ctx in
   let host_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+  let events_processed = Run_ctx.total_events ctx in
   (* Instrumentation-health metrics, recorded after the run so they see
      the final state: spans the workload never closed (analysis clamps
      them to end-of-run) and trace-ring events evicted by the capacity
@@ -127,8 +138,18 @@ let run_one ?(quick = false) ?(observe = false) ?seed ?coherence (e : t) :
       Buffer.add_string b (Stats.Table.render t);
       Buffer.add_char b '\n')
     tables;
-  Printf.bprintf b "(%s: %.0f ms host time)\n" e.id host_ms;
-  { spec = e; host_ms; tables; sink; output = Buffer.contents b }
+  Printf.bprintf b "(%s: %.0f ms host time, %d events, %.2f Mev/s)\n" e.id
+    host_ms events_processed
+    (events_per_sec ~events:events_processed ~host_ms /. 1e6);
+  {
+    spec = e;
+    host_ms;
+    events_processed;
+    tables;
+    sink;
+    prof;
+    output = Buffer.contents b;
+  }
 
 (** Parallel suite runner. Experiments are independent by construction
     (each [run_one] builds a private [Run_ctx.t], sink and machines), so
@@ -138,14 +159,14 @@ let run_one ?(quick = false) ?(observe = false) ?seed ?coherence (e : t) :
     experiment durations vary by an order of magnitude. *)
 let default_jobs () = Domain.recommended_domain_count ()
 
-let run_all ?quick ?observe ?seed ?coherence ?jobs () : outcome list =
+let run_all ?quick ?observe ?profile ?seed ?coherence ?jobs () : outcome list =
   let specs = Array.of_list all in
   let n = Array.length specs in
   let jobs =
     max 1 (min n (match jobs with Some j -> j | None -> default_jobs ()))
   in
   if jobs = 1 then
-    List.map (fun e -> run_one ?quick ?observe ?seed ?coherence e) all
+    List.map (fun e -> run_one ?quick ?observe ?profile ?seed ?coherence e) all
   else begin
     let results = Array.make n None in
     let next = Atomic.make 0 in
@@ -154,7 +175,7 @@ let run_all ?quick ?observe ?seed ?coherence ?jobs () : outcome list =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
           results.(i) <-
-            Some (run_one ?quick ?observe ?seed ?coherence specs.(i));
+            Some (run_one ?quick ?observe ?profile ?seed ?coherence specs.(i));
           loop ()
         end
       in
@@ -191,6 +212,13 @@ let outcome_json ?(metrics_only = false) (o : outcome) =
        ("id", Obs.Json.Str o.spec.id);
        ("title", Obs.Json.Str o.spec.title);
        ("host_ms", Obs.Json.Float o.host_ms);
+       (* Informational throughput fields: host-time-derived, so noisy run
+          to run. `popcornsim diff` reads only "metrics" and ignores
+          these. *)
+       ("events_processed", Obs.Json.Int o.events_processed);
+       ( "events_per_sec",
+         Obs.Json.Float
+           (events_per_sec ~events:o.events_processed ~host_ms:o.host_ms) );
        ("tables", Obs.Json.Arr (List.map table_json o.tables));
      ]
     @

@@ -20,7 +20,7 @@ let create eng params topo ~name =
     name;
     busy = false;
     last_core = 0;
-    waiters = Waitq.create ();
+    waiters = Waitq.create ~eng ();
     ops = 0;
     wait = Time.zero;
   }

@@ -19,7 +19,7 @@ let create eng params ~core ~quantum =
     params;
     core;
     quantum;
-    runq = Waitq.create ();
+    runq = Waitq.create ~eng ();
     occupied = false;
     busy = Time.zero;
     switches = 0;

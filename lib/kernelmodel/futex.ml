@@ -8,7 +8,7 @@ let queue t addr =
   match Hashtbl.find_opt t.queues addr with
   | Some q -> q
   | None ->
-      let q = Waitq.create () in
+      let q = Waitq.create ~eng:t.eng () in
       Hashtbl.add t.queues addr q;
       q
 

@@ -35,8 +35,16 @@ type 'r t = {
   mutable rt_retried : int;
   mutable rt_recovered : int;
   mutable rt_gave_up : int;
-  mutable obs : (Obs.Metrics.t * int) option;
-      (** registry + kernel scope for rpc.* metrics. *)
+  mutable obs : rpc_metrics option;
+      (** rpc.* counter handles for this kernel, resolved once at
+          [set_metrics] instead of a by-name registry probe per call. *)
+}
+
+and rpc_metrics = {
+  rm_calls : Obs.Metrics.counter_handle;
+  rm_retried : Obs.Metrics.counter_handle;
+  rm_recovered : Obs.Metrics.counter_handle;
+  rm_gave_up : Obs.Metrics.counter_handle;
 }
 
 let create eng =
@@ -51,12 +59,20 @@ let create eng =
     obs = None;
   }
 
-let set_metrics t reg ~kernel = t.obs <- Some (reg, kernel)
+let set_metrics t reg ~kernel =
+  t.obs <-
+    Some
+      {
+        rm_calls = Obs.Metrics.counter_handle reg ~kernel "rpc.calls";
+        rm_retried = Obs.Metrics.counter_handle reg ~kernel "rpc.retried";
+        rm_recovered = Obs.Metrics.counter_handle reg ~kernel "rpc.recovered";
+        rm_gave_up = Obs.Metrics.counter_handle reg ~kernel "rpc.gave_up";
+      }
 
-let obs_incr t name =
+let obs_incr t field =
   match t.obs with
   | None -> ()
-  | Some (reg, kernel) -> Obs.Metrics.incr reg ~kernel name
+  | Some h -> Obs.Metrics.handle_incr (field h)
 
 let fresh t =
   let ticket = t.next_ticket in
@@ -69,7 +85,7 @@ let register t callback =
   ticket
 
 let call t send =
-  obs_incr t "rpc.calls";
+  obs_incr t (fun h -> h.rm_calls);
   let cell = ref Unresolved in
   let ticket =
     register t (fun r ->
@@ -120,22 +136,22 @@ let call_retry t ?(policy = default_retry) send =
   assert (policy.max_tries >= 1);
   assert (policy.base_timeout > 0);
   t.rt_calls <- t.rt_calls + 1;
-  obs_incr t "rpc.calls";
+  obs_incr t (fun h -> h.rm_calls);
   let rec attempt i ~timeout =
     match call_timeout t ~timeout (fun ticket -> send ~attempt:i ticket) with
     | Some r ->
         if i > 1 then begin
           t.rt_recovered <- t.rt_recovered + 1;
-          obs_incr t "rpc.recovered"
+          obs_incr t (fun h -> h.rm_recovered)
         end;
         Some r
     | None when i >= policy.max_tries ->
         t.rt_gave_up <- t.rt_gave_up + 1;
-        obs_incr t "rpc.gave_up";
+        obs_incr t (fun h -> h.rm_gave_up);
         None
     | None ->
         t.rt_retried <- t.rt_retried + 1;
-        obs_incr t "rpc.retried";
+        obs_incr t (fun h -> h.rm_retried);
         attempt (i + 1)
           ~timeout:
             (Time.min

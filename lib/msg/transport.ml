@@ -20,6 +20,21 @@ type 'a packet = {
       (** injected per-message delivery latency (fault injection). *)
 }
 
+(* This kernel's msg.* metric cells, resolved once instead of a by-name
+   registry probe on every message (several updates per delivery — the
+   hottest instrumentation in the simulator). *)
+type ep_metrics = {
+  em_sent : Obs.Metrics.counter_handle;
+  em_bytes : Obs.Metrics.counter_handle;
+  em_dropped : Obs.Metrics.counter_handle;
+  em_duplicated : Obs.Metrics.counter_handle;
+  em_delivered : Obs.Metrics.counter_handle;
+  em_dup_suppressed : Obs.Metrics.counter_handle;
+  em_doorbells : Obs.Metrics.counter_handle;
+  em_doorbells_lost : Obs.Metrics.counter_handle;
+  em_latency : Obs.Metrics.hist_handle;
+}
+
 type 'a endpoint = {
   node : node;
   core : Hw.Topology.core;
@@ -28,6 +43,10 @@ type 'a endpoint = {
       (** per-source highest delivered sequence number; rings are FIFO per
           link, so a packet at or below it is a duplicate. *)
   mutable worker_idle : bool;
+  mutable em : (Obs.Metrics.t * ep_metrics) option;
+      (** handles + the registry they were resolved against (observability
+          can be attached after the endpoint exists, so resolution is
+          lazy; the registry is re-checked by physical equality). *)
 }
 
 type stats = {
@@ -116,6 +135,38 @@ let home_core t node = (endpoint t node).core
 
 let set_hooks t hooks = t.hooks <- hooks
 
+(* One [option] check when observability is off; one pointer compare on the
+   cached-handle hit path. *)
+let ep_metrics t ep =
+  match t.machine.Hw.Machine.metrics with
+  | None -> None
+  | Some reg -> (
+      match ep.em with
+      | Some (r, h) when r == reg -> Some h
+      | _ ->
+          let kernel = ep.node in
+          let c name = Obs.Metrics.counter_handle reg ~kernel name in
+          let h =
+            {
+              em_sent = c "msg.sent";
+              em_bytes = c "msg.bytes";
+              em_dropped = c "msg.dropped";
+              em_duplicated = c "msg.duplicated";
+              em_delivered = c "msg.delivered";
+              em_dup_suppressed = c "msg.dup_suppressed";
+              em_doorbells = c "msg.doorbells";
+              em_doorbells_lost = c "msg.doorbells_lost";
+              em_latency = Obs.Metrics.hist_handle reg ~kernel "msg.latency_ns";
+            }
+          in
+          ep.em <- Some (reg, h);
+          Some h)
+
+let ep_incr t ep field =
+  match ep_metrics t ep with
+  | None -> ()
+  | Some h -> Obs.Metrics.handle_incr (field h)
+
 (* Receiver-side cost to pull a message out of the ring and enter the
    handler: payload copy plus a little dispatch work. *)
 let receive_cost t ep (pkt : 'a packet) =
@@ -160,7 +211,7 @@ let worker_loop t ep =
     in
     if pkt.seq <= last then begin
       t.st_dup_suppressed <- t.st_dup_suppressed + 1;
-      Hw.Machine.metric_incr m ~kernel:ep.node "msg.dup_suppressed";
+      ep_incr t ep (fun h -> h.em_dup_suppressed);
       loop ()
     end
     else begin
@@ -168,14 +219,16 @@ let worker_loop t ep =
       t.st_delivered <- t.st_delivered + 1;
       let latency = Time.sub (Engine.now eng) pkt.enqueued_at in
       t.st_latency <- Time.add t.st_latency latency;
-      Hw.Machine.metric_incr m ~kernel:ep.node "msg.delivered";
-      Hw.Machine.metric_observe m ~kernel:ep.node "msg.latency_ns"
-        (float_of_int latency);
+      (match ep_metrics t ep with
+      | None -> ()
+      | Some h ->
+          Obs.Metrics.handle_incr h.em_delivered;
+          Obs.Metrics.handle_observe h.em_latency (float_of_int latency));
       Hw.Machine.causal_deliver m ~id:pkt.msg_id ~dst:ep.node;
       let src = pkt.src and payload = pkt.payload in
       let d = { msg_id = pkt.msg_id; from_span = pkt.from_span } in
       (* Fresh fiber per message: handlers may block on nested RPCs. *)
-      Engine.spawn eng ~name:(Printf.sprintf "msg-handler-n%d" ep.node)
+      Engine.spawn eng ~tag:"msg" ~name:(Printf.sprintf "msg-handler-n%d" ep.node)
         (fun () -> t.handler t ~dst:ep.node ~src d payload);
       loop ()
     end
@@ -192,10 +245,11 @@ let add_node t node ~home_core =
       inbox = Channel.create t.machine.Hw.Machine.eng ~capacity:t.ring_slots;
       last_seq = Hashtbl.create 16;
       worker_idle = true;
+      em = None;
     }
   in
   Hashtbl.add t.endpoints node ep;
-  Engine.spawn t.machine.Hw.Machine.eng
+  Engine.spawn t.machine.Hw.Machine.eng ~tag:"msg"
     ~name:(Printf.sprintf "msg-worker-n%d" node)
     (fun () -> worker_loop t ep)
 
@@ -213,7 +267,7 @@ let enqueue t ep ~src ~src_core ~bytes ~seq ~msg_id ~from_span ~extra_delay
   let doorbell =
     if was_idle then begin
       t.st_doorbells <- t.st_doorbells + 1;
-      Hw.Machine.metric_incr m ~kernel:ep.node "msg.doorbells";
+      ep_incr t ep (fun h -> h.em_doorbells);
       let latency =
         Hw.Ipi.delivery_latency m.Hw.Machine.ipi ~src:src_core ~dst:ep.core
       in
@@ -226,7 +280,7 @@ let enqueue t ep ~src ~src_core ~bytes ~seq ~msg_id ~from_span ~extra_delay
               (* Doorbell lost: the worker only notices the ring write at
                  its next recovery poll. *)
               t.st_doorbells_lost <- t.st_doorbells_lost + 1;
-              Hw.Machine.metric_incr m ~kernel:ep.node "msg.doorbells_lost";
+              ep_incr t ep (fun h -> h.em_doorbells_lost);
               recovery)
     end
     else Time.zero
@@ -259,8 +313,20 @@ let send_from_core t ?from_span ~src ~src_core ~dst ~bytes payload =
   let copy = Hw.Params.copy_cost m.Hw.Machine.params ~bytes ~cross_socket:cross in
   Engine.sleep eng (Time.add reserve copy);
   t.st_sent <- t.st_sent + 1;
-  Hw.Machine.metric_incr m ~kernel:src "msg.sent";
-  Hw.Machine.metric_add m ~kernel:src "msg.bytes" bytes;
+  (* Sender-side metrics are scoped to [src]; its own endpoint caches the
+     handles. (A src without an endpoint cannot arise from [send], but
+     [send_from_core] is public — fall back to the by-name path.) *)
+  let src_ep = Hashtbl.find_opt t.endpoints src in
+  (match src_ep with
+  | Some sep -> (
+      match ep_metrics t sep with
+      | None -> ()
+      | Some h ->
+          Obs.Metrics.handle_incr h.em_sent;
+          Obs.Metrics.handle_add h.em_bytes bytes)
+  | None ->
+      Hw.Machine.metric_incr m ~kernel:src "msg.sent";
+      Hw.Machine.metric_add m ~kernel:src "msg.bytes" bytes);
   let seq = next_seq t ~src ~dst in
   let msg_id = t.next_msg_id in
   t.next_msg_id <- msg_id + 1;
@@ -278,14 +344,18 @@ let send_from_core t ?from_span ~src ~src_core ~dst ~bytes payload =
       (* The sender paid the full send cost, but the message never makes it
          out of the ring (modelling a corrupted/lost slot). *)
       t.st_dropped <- t.st_dropped + 1;
-      Hw.Machine.metric_incr m ~kernel:src "msg.dropped"
+      (match src_ep with
+      | Some sep -> ep_incr t sep (fun h -> h.em_dropped)
+      | None -> Hw.Machine.metric_incr m ~kernel:src "msg.dropped")
   | Pass | Duplicate | Delay _ ->
       let extra_delay = match action with Delay d -> d | _ -> Time.zero in
       enqueue t ep ~src ~src_core ~bytes ~seq ~msg_id ~from_span ~extra_delay
         payload;
       if action = Duplicate then begin
         t.st_duplicated <- t.st_duplicated + 1;
-        Hw.Machine.metric_incr m ~kernel:src "msg.duplicated";
+        (match src_ep with
+        | Some sep -> ep_incr t sep (fun h -> h.em_duplicated)
+        | None -> Hw.Machine.metric_incr m ~kernel:src "msg.duplicated");
         enqueue t ep ~src ~src_core ~bytes ~seq ~msg_id ~from_span
           ~extra_delay payload
       end

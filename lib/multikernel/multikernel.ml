@@ -130,10 +130,10 @@ let start_domain t ~core main : domain =
   Hw.Machine.metric_incr t.machine ~kernel:core "mk.dispatchers";
   let id = t.next_domain in
   t.next_domain <- id + 1;
-  let dom = { sys = t; id; dispatchers = 1; exit_waiters = Waitq.create () } in
+  let dom = { sys = t; id; dispatchers = 1; exit_waiters = Waitq.create ~eng:(eng t) () } in
   Hashtbl.replace t.domains id dom;
   let d = make_dispatcher dom core in
-  Engine.spawn (eng t) ~name:(Printf.sprintf "mk-dom%d-c%d" id core)
+  Engine.spawn (eng t) ~tag:"mk" ~name:(Printf.sprintf "mk-dom%d-c%d" id core)
     (fun () ->
       Engine.sleep (eng t) dispatcher_create_cost;
       main d;
@@ -158,7 +158,7 @@ let spawn_dispatcher (d : dispatcher) ~core body : unit =
   | _ -> assert false);
   d.dom.dispatchers <- d.dom.dispatchers + 1;
   let child = make_dispatcher d.dom core in
-  Engine.spawn (eng t) ~name:(Printf.sprintf "mk-dom%d-c%d" d.dom.id core)
+  Engine.spawn (eng t) ~tag:"mk" ~name:(Printf.sprintf "mk-dom%d-c%d" d.dom.id core)
     (fun () ->
       Engine.sleep (eng t) (params t).Hw.Params.context_switch;
       body child;
@@ -212,7 +212,7 @@ let make_chan t : chan =
     {
       chan_id = t.next_chan;
       inbox = Queue.create ();
-      recv_waiters = Waitq.create ();
+      recv_waiters = Waitq.create ~eng:(eng t) ();
     }
   in
   t.next_chan <- t.next_chan + 1;

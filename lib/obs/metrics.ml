@@ -51,6 +51,70 @@ let observe t ?kernel name x =
   | CHist h -> Stats.Histogram.add h x
   | c -> wrong_kind name c "histogram"
 
+(* Pre-resolved handles. Updating through one is a single option check +
+   mutation — no (name, kernel) hashtable probe, no string hashing. The
+   underlying cell is materialized on the first update, not at resolution:
+   a handle that is resolved but never updated leaves the registry (and
+   every metrics export) exactly as if it never existed, so callers can
+   resolve a full bundle of handles up front without minting zero-valued
+   cells. Once materialized, a cell is never removed, so the cached ref
+   stays valid for the registry's lifetime. *)
+type counter_handle = {
+  ch_reg : t;
+  ch_name : string;
+  ch_kernel : int option;
+  mutable ch_cell : int ref option;
+}
+
+type hist_handle = {
+  hh_reg : t;
+  hh_name : string;
+  hh_kernel : int option;
+  mutable hh_cell : Stats.Histogram.t option;
+}
+
+let counter_handle t ?kernel name =
+  (* Kind mismatch with an existing cell surfaces here; a fresh name is
+     only checked on first update (when the cell is created). *)
+  (match Hashtbl.find_opt t.cells (name, kernel) with
+  | None | Some (CCounter _) -> ()
+  | Some c -> wrong_kind name c "counter");
+  { ch_reg = t; ch_name = name; ch_kernel = kernel; ch_cell = None }
+
+let hist_handle t ?kernel name =
+  (match Hashtbl.find_opt t.cells (name, kernel) with
+  | None | Some (CHist _) -> ()
+  | Some c -> wrong_kind name c "histogram");
+  { hh_reg = t; hh_name = name; hh_kernel = kernel; hh_cell = None }
+
+let handle_add h n =
+  match h.ch_cell with
+  | Some r -> r := !r + n
+  | None -> (
+      match
+        cell h.ch_reg ~kernel:h.ch_kernel h.ch_name (fun () ->
+            CCounter (ref 0))
+      with
+      | CCounter r ->
+          h.ch_cell <- Some r;
+          r := !r + n
+      | c -> wrong_kind h.ch_name c "counter")
+
+let handle_incr h = handle_add h 1
+
+let handle_observe h x =
+  match h.hh_cell with
+  | Some hist -> Stats.Histogram.add hist x
+  | None -> (
+      match
+        cell h.hh_reg ~kernel:h.hh_kernel h.hh_name (fun () ->
+            CHist (Stats.Histogram.create ()))
+      with
+      | CHist hist ->
+          h.hh_cell <- Some hist;
+          Stats.Histogram.add hist x
+      | c -> wrong_kind h.hh_name c "histogram")
+
 let counter t ?kernel name =
   match Hashtbl.find_opt t.cells (name, kernel) with
   | Some (CCounter r) -> !r

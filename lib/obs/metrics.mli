@@ -32,6 +32,30 @@ val observe : t -> ?kernel:int -> string -> float -> unit
 (** Record one observation in a log-bucketed histogram
     ({!Stats.Histogram}). *)
 
+(** {1 Pre-resolved handles}
+
+    {!incr}/{!add}/{!observe} probe the registry hashtable by (name,
+    kernel) on every call — fine for cold paths, measurable on hot ones
+    (the messaging layer updates several metrics per delivered message).
+    A handle resolves that lookup once; updating through it is one option
+    check plus a mutation. The backing cell is materialized on the first
+    update, not at resolution, so a handle that is never updated leaves
+    the registry — and every export — untouched; callers can resolve a
+    full bundle of handles up front without minting zero-valued metrics.
+    Handles stay valid for the registry's lifetime (cells are never
+    removed). A kind mismatch with an existing cell raises
+    [Invalid_argument] at resolution; for a not-yet-existing name it
+    raises on the first update. *)
+
+type counter_handle
+type hist_handle
+
+val counter_handle : t -> ?kernel:int -> string -> counter_handle
+val hist_handle : t -> ?kernel:int -> string -> hist_handle
+val handle_incr : counter_handle -> unit
+val handle_add : counter_handle -> int -> unit
+val handle_observe : hist_handle -> float -> unit
+
 val counter : t -> ?kernel:int -> string -> int
 (** Current value; 0 if the counter was never touched. Raises
     [Invalid_argument] if the name is registered as a different kind. *)

@@ -8,7 +8,7 @@ type t = {
 
 let create eng ~parties =
   assert (parties >= 1);
-  { eng; parties; arrived = 0; rounds = 0; waiters = Waitq.create () }
+  { eng; parties; arrived = 0; rounds = 0; waiters = Waitq.create ~eng () }
 
 let wait t =
   t.arrived <- t.arrived + 1;

@@ -12,8 +12,8 @@ let create eng ~capacity =
     eng;
     capacity;
     items = Queue.create ();
-    senders = Waitq.create ();
-    receivers = Waitq.create ();
+    senders = Waitq.create ~eng ();
+    receivers = Waitq.create ~eng ();
   }
 
 let unbounded eng =
@@ -21,37 +21,51 @@ let unbounded eng =
     eng;
     capacity = max_int;
     items = Queue.create ();
-    senders = Waitq.create ();
-    receivers = Waitq.create ();
+    senders = Waitq.create ~eng ();
+    receivers = Waitq.create ~eng ();
   }
+
+(* Buffered-item accounting feeds the engine-wide aggregate the profiler
+   samples; a direct handoff to a parked receiver never buffers, so it is
+   not counted. *)
+let buffer t v =
+  Queue.push v t.items;
+  Engine.Introspect.chan_queued_add t.eng 1
+
+let unbuffer t =
+  match Queue.take_opt t.items with
+  | None -> None
+  | Some v ->
+      Engine.Introspect.chan_queued_add t.eng (-1);
+      Some v
 
 let send t v =
   if Waitq.wake_one t.receivers v then ()
-  else if Queue.length t.items < t.capacity then Queue.push v t.items
+  else if Queue.length t.items < t.capacity then buffer t v
   else begin
     (* Park until a recv frees a slot; exactly one sender is woken per
        dequeue, so the slot is reserved for us. *)
     Waitq.wait t.eng t.senders;
-    Queue.push v t.items
+    buffer t v
   end
 
 let try_send t v =
   if Waitq.wake_one t.receivers v then true
   else if Queue.length t.items < t.capacity then begin
-    Queue.push v t.items;
+    buffer t v;
     true
   end
   else false
 
 let recv t =
-  match Queue.take_opt t.items with
+  match unbuffer t with
   | Some v ->
       ignore (Waitq.wake_one t.senders ());
       v
   | None -> Waitq.wait t.eng t.receivers
 
 let recv_timeout t ~timeout =
-  match Queue.take_opt t.items with
+  match unbuffer t with
   | Some v ->
       ignore (Waitq.wake_one t.senders ());
       Some v
@@ -61,7 +75,7 @@ let recv_timeout t ~timeout =
       | Waitq.Timed_out -> None)
 
 let try_recv t =
-  match Queue.take_opt t.items with
+  match unbuffer t with
   | Some v ->
       ignore (Waitq.wake_one t.senders ());
       Some v

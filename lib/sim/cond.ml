@@ -1,6 +1,6 @@
 type t = { eng : Engine.t; waiters : unit Waitq.t }
 
-let create eng = { eng; waiters = Waitq.create () }
+let create eng = { eng; waiters = Waitq.create ~eng () }
 
 let wait t m =
   Mutex.unlock m;

@@ -1,25 +1,44 @@
 type 'a cell = { at : Time.t; seq : int; v : 'a }
 
-type 'a t = { mutable a : 'a cell array; mutable n : int }
+type 'a t = {
+  mutable a : 'a cell array;
+  mutable n : int;
+  mutable max_n : int;
+  dummy : 'a cell option;
+      (** When set, [pop] overwrites the slot it vacates with this cell, so
+          the heap never retains a reference to an already-executed payload
+          (event closures can pin whole object graphs through their captured
+          continuations). Without it, vacated slots keep their old cell. *)
+}
 
-let create () = { a = [||]; n = 0 }
+let create ?dummy () =
+  {
+    a = [||];
+    n = 0;
+    max_n = 0;
+    dummy = Option.map (fun v -> { at = 0; seq = 0; v }) dummy;
+  }
 
 let before x y = x.at < y.at || (x.at = y.at && x.seq < y.seq)
 
 let grow t =
   let cap = Array.length t.a in
   let ncap = if cap = 0 then 16 else 2 * cap in
-  (* The dummy cell at fresh slots is never observed: [n] bounds access. *)
-  let a' = Array.make ncap t.a.(0) in
+  (* Fresh slots are never observed ([n] bounds access); fill them with the
+     dummy when there is one so they hold no live payload. *)
+  let fill = match t.dummy with Some d -> d | None -> t.a.(0) in
+  let a' = Array.make ncap fill in
   Array.blit t.a 0 a' 0 t.n;
   t.a <- a'
 
 let push t ~at ~seq v =
   let c = { at; seq; v } in
-  if t.n = 0 && Array.length t.a = 0 then t.a <- Array.make 16 c;
+  if t.n = 0 && Array.length t.a = 0 then
+    t.a <- Array.make 16 (match t.dummy with Some d -> d | None -> c);
   if t.n = Array.length t.a then grow t;
   t.a.(t.n) <- c;
   t.n <- t.n + 1;
+  if t.n > t.max_n then t.max_n <- t.n;
   (* sift up *)
   let i = ref (t.n - 1) in
   while
@@ -40,8 +59,13 @@ let pop t =
   else begin
     let root = t.a.(0) in
     t.n <- t.n - 1;
+    (match t.dummy with
+    | Some d ->
+        let last = t.a.(t.n) in
+        t.a.(t.n) <- d;
+        if t.n > 0 then t.a.(0) <- last
+    | None -> if t.n > 0 then t.a.(0) <- t.a.(t.n));
     if t.n > 0 then begin
-      t.a.(0) <- t.a.(t.n);
       (* sift down *)
       let i = ref 0 in
       let continue = ref true in
@@ -64,4 +88,6 @@ let pop t =
 
 let peek_time t = if t.n = 0 then None else Some t.a.(0).at
 let size t = t.n
+let length = size
+let max_length t = t.max_n
 let is_empty t = t.n = 0

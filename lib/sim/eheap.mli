@@ -6,7 +6,12 @@
 
 type 'a t
 
-val create : unit -> 'a t
+val create : ?dummy:'a -> unit -> 'a t
+(** [dummy], when given, is used to overwrite heap slots as they are
+    vacated, so the heap never retains a reference to a payload it already
+    popped. Engine event closures capture fiber continuations — without a
+    dummy, a drained heap can pin the entire object graph of the last
+    events it executed. *)
 
 val push : 'a t -> at:Time.t -> seq:int -> 'a -> unit
 
@@ -16,4 +21,11 @@ val pop : 'a t -> (Time.t * int * 'a) option
 val peek_time : 'a t -> Time.t option
 
 val size : 'a t -> int
+
+val length : 'a t -> int
+(** Synonym for {!size}: events currently queued. *)
+
+val max_length : 'a t -> int
+(** High-water mark of {!length} over the heap's lifetime. *)
+
 val is_empty : 'a t -> bool

@@ -1,11 +1,37 @@
+(* Each queued event carries the label of the fiber it belongs to: the
+   [as_fiber] name plus an optional subsystem tag from the spawn site.
+   Labels cost one small record per scheduled event and never influence
+   ordering, so simulated behaviour is identical whether or not anyone
+   reads them — they exist for the profiling observer below. *)
+type event = { ev_name : string; ev_tag : string option; ev_run : unit -> unit }
+
+(** Host-side hooks invoked around event execution; see the .mli. *)
+type observer = {
+  on_run_start : now:Time.t -> unit;
+  on_event : name:string -> tag:string option -> now:Time.t -> unit;
+  on_event_done : unit -> unit;
+  on_run_stop : now:Time.t -> unit;
+}
+
 type t = {
   mutable now : Time.t;
-  queue : (unit -> unit) Eheap.t;
+  queue : event Eheap.t;
   mutable seq : int;
   seed : int;
   rng : Prng.t;
   mutable processed : int;
   mutable tracer : (Time.t -> string -> unit) option;
+  mutable observer : observer option;
+  (* Scheduler introspection, maintained unconditionally (plain integer
+     arithmetic in simulated-deterministic order, so it can never perturb a
+     run): fiber park/resume totals, aggregate dead wait-queue entries and
+     aggregate buffered channel items across this engine's primitives. *)
+  mutable parks : int;
+  mutable resumes : int;
+  mutable waitq_dead : int;
+  mutable waitq_dead_max : int;
+  mutable chan_queued : int;
+  mutable chan_queued_max : int;
 }
 
 exception Fiber_failure of string * exn
@@ -17,29 +43,64 @@ type _ Effect.t +=
 let create ?(seed = 42) () =
   {
     now = Time.zero;
-    queue = Eheap.create ();
+    (* The dummy lets the heap clear vacated slots: an executed event's
+       closure captures its continuation, which can pin the whole object
+       graph the fiber touches (machine, cluster) long after it ran. *)
+    queue =
+      Eheap.create ~dummy:{ ev_name = ""; ev_tag = None; ev_run = ignore } ();
     seq = 0;
     seed;
     rng = Prng.create ~seed;
     processed = 0;
     tracer = None;
+    observer = None;
+    parks = 0;
+    resumes = 0;
+    waitq_dead = 0;
+    waitq_dead_max = 0;
+    chan_queued = 0;
+    chan_queued_max = 0;
   }
 
 let now t = t.now
 let rng t = t.rng
 let seed t = t.seed
 let events_processed t = t.processed
+let queue_length t = Eheap.length t.queue
+let queue_max_length t = Eheap.max_length t.queue
+let parks t = t.parks
+let resumes t = t.resumes
+let waitq_dead t = t.waitq_dead
+let waitq_dead_max t = t.waitq_dead_max
+let chan_queued t = t.chan_queued
+let chan_queued_max t = t.chan_queued_max
 
-let push t ~after run =
+module Introspect = struct
+  let waitq_dead_add t n =
+    t.waitq_dead <- t.waitq_dead + n;
+    if t.waitq_dead > t.waitq_dead_max then t.waitq_dead_max <- t.waitq_dead
+
+  let chan_queued_add t n =
+    t.chan_queued <- t.chan_queued + n;
+    if t.chan_queued > t.chan_queued_max then
+      t.chan_queued_max <- t.chan_queued
+end
+
+let push_event t ~after ~name ~tag run =
   assert (after >= 0);
   let seq = t.seq in
   t.seq <- seq + 1;
-  Eheap.push t.queue ~at:(Time.add t.now after) ~seq run
+  Eheap.push t.queue
+    ~at:(Time.add t.now after)
+    ~seq
+    { ev_name = name; ev_tag = tag; ev_run = run }
 
 (* Wrap a thunk in the effect handler that turns Sleep/Suspend into engine
    events. The continuation keeps the handler, so a fiber only needs wrapping
-   once, at its entry point. *)
-let as_fiber name f =
+   once, at its entry point; continuation events inherit the fiber's label,
+   which is what lets the profiler attribute every host nanosecond of a
+   fiber's life to its name, not just its first slice. *)
+let as_fiber ?tag name f =
   let open Effect.Deep in
   fun () ->
     match_with f ()
@@ -52,24 +113,35 @@ let as_fiber name f =
             | Sleep (eng, dt) ->
                 Some
                   (fun (k : (a, _) continuation) ->
-                    push eng ~after:dt (fun () -> continue k ()))
+                    push_event eng ~after:dt ~name ~tag (fun () ->
+                        continue k ()))
             | Suspend (eng, register) ->
                 Some
                   (fun (k : (a, _) continuation) ->
+                    eng.parks <- eng.parks + 1;
                     let fired = ref false in
                     register (fun v ->
                         if not !fired then begin
                           fired := true;
-                          push eng ~after:0 (fun () -> continue k v)
+                          eng.resumes <- eng.resumes + 1;
+                          push_event eng ~after:0 ~name ~tag (fun () ->
+                              continue k v)
                         end))
             | _ -> None);
       }
 
-let schedule t ~after f = push t ~after (as_fiber "callback" f)
+let schedule t ?(name = "callback") ?tag ~after f =
+  push_event t ~after ~name ~tag (as_fiber ?tag name f)
 
-let spawn t ?(name = "fiber") f = push t ~after:0 (as_fiber name f)
+let spawn t ?(name = "fiber") ?tag f =
+  push_event t ~after:0 ~name ~tag (as_fiber ?tag name f)
+
+let set_observer t ob = t.observer <- ob
 
 let run ?until t =
+  (match t.observer with
+  | None -> ()
+  | Some ob -> ob.on_run_start ~now:t.now);
   let continue = ref true in
   while !continue do
     match Eheap.peek_time t.queue with
@@ -80,15 +152,23 @@ let run ?until t =
             t.now <- limit;
             continue := false
         | _ ->
-            let _, _, run =
+            let _, _, ev =
               match Eheap.pop t.queue with
               | Some e -> e
               | None -> assert false
             in
             t.now <- at;
             t.processed <- t.processed + 1;
-            run ())
-  done
+            (match t.observer with
+            | None -> ev.ev_run ()
+            | Some ob ->
+                ob.on_event ~name:ev.ev_name ~tag:ev.ev_tag ~now:at;
+                ev.ev_run ();
+                ob.on_event_done ()))
+  done;
+  match t.observer with
+  | None -> ()
+  | Some ob -> ob.on_run_stop ~now:t.now
 
 let sleep t dt = if dt <= 0 then () else Effect.perform (Sleep (t, dt))
 let yield t = Effect.perform (Sleep (t, 0))

@@ -34,14 +34,61 @@ val seed : t -> int
 val events_processed : t -> int
 (** Total events executed so far; a cheap progress/complexity metric. *)
 
+(** {1 Scheduler introspection}
+
+    All counters below are maintained unconditionally — plain integer
+    updates in simulated-deterministic order, so reading (or ignoring) them
+    can never change a run. *)
+
+val queue_length : t -> int
+(** Events currently in the event heap. *)
+
+val queue_max_length : t -> int
+(** High-water mark of {!queue_length} over the engine's lifetime. *)
+
+val parks : t -> int
+(** Fibers parked so far (every {!suspend}, including the ones behind the
+    blocking primitives). *)
+
+val resumes : t -> int
+(** Parked fibers resumed so far; [parks t - resumes t] fibers are currently
+    parked (or were abandoned without a wake-up). *)
+
+val waitq_dead : t -> int
+(** Dead (cancelled-but-not-yet-purged) entries across every {!Waitq}
+    created with this engine; see {!Waitq.dead_count}. *)
+
+val waitq_dead_max : t -> int
+
+val chan_queued : t -> int
+(** Items buffered across every {!Channel} of this engine. *)
+
+val chan_queued_max : t -> int
+
+(**/**)
+
+(** Maintenance hooks for the aggregate counters above; called by [Waitq]
+    and [Channel], not by simulation code. *)
+module Introspect : sig
+  val waitq_dead_add : t -> int -> unit
+  val chan_queued_add : t -> int -> unit
+end
+
+(**/**)
+
 (** {1 Scheduling} *)
 
-val schedule : t -> after:Time.t -> (unit -> unit) -> unit
+val schedule : t -> ?name:string -> ?tag:string -> after:Time.t -> (unit -> unit) -> unit
 (** Run a plain callback [after] nanoseconds from now. The callback runs
-    under the fiber handler, so it may itself sleep or suspend. *)
+    under the fiber handler, so it may itself sleep or suspend. [name]
+    (default ["callback"]) and [tag] label the event for the profiling
+    observer, exactly as in {!spawn}. *)
 
-val spawn : t -> ?name:string -> (unit -> unit) -> unit
-(** Start a new fiber at the current instant. *)
+val spawn : t -> ?name:string -> ?tag:string -> (unit -> unit) -> unit
+(** Start a new fiber at the current instant. [name] (default ["fiber"])
+    appears in {!Fiber_failure} and labels the fiber's events for the
+    profiling observer; [tag] is an optional subsystem tag (e.g. ["msg"],
+    ["popcorn"]) that groups labels in profile reports. *)
 
 val run : ?until:Time.t -> t -> unit
 (** Execute events until the queue is empty, or until the clock would pass
@@ -70,6 +117,30 @@ val suspend : t -> (('a -> unit) -> unit) -> 'a
     [resume] somewhere (a wait queue, a ticket table) and/or schedule plain
     events. Do the effectful work (sending messages, charging costs) in the
     fiber before calling [suspend]. *)
+
+(** {1 Profiling observer} *)
+
+(** Host-side hooks invoked by {!run} around each event execution. The
+    engine calls [on_event] (with the event's fiber name, subsystem tag and
+    the virtual time it fires at) immediately before running the event and
+    [on_event_done] immediately after; [on_run_start] / [on_run_stop]
+    bracket each {!run} call so an observer can separate in-run scheduler
+    time from time the host spends outside the engine entirely.
+
+    The observer runs on the host clock only: it is invoked in a fixed,
+    deterministic order, is given no way to schedule events or touch the
+    RNG, and the engine never inspects its behaviour — so simulated results
+    are bit-identical with or without one installed. *)
+type observer = {
+  on_run_start : now:Time.t -> unit;
+  on_event : name:string -> tag:string option -> now:Time.t -> unit;
+  on_event_done : unit -> unit;
+  on_run_stop : now:Time.t -> unit;
+}
+
+val set_observer : t -> observer option -> unit
+(** Install (or remove) the profiling observer. When none is installed the
+    per-event cost is a single [option] check. *)
 
 (** {1 Tracing} *)
 

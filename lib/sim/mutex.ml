@@ -4,7 +4,7 @@ type t = {
   waiters : unit Waitq.t;
 }
 
-let create eng = { eng; locked = false; waiters = Waitq.create () }
+let create eng = { eng; locked = false; waiters = Waitq.create ~eng () }
 
 let lock t =
   if not t.locked then t.locked <- true

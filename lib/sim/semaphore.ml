@@ -2,7 +2,7 @@ type t = { eng : Engine.t; mutable permits : int; waiters : unit Waitq.t }
 
 let create eng n =
   assert (n >= 0);
-  { eng; permits = n; waiters = Waitq.create () }
+  { eng; permits = n; waiters = Waitq.create ~eng () }
 
 let acquire t =
   if t.permits > 0 then t.permits <- t.permits - 1

@@ -1,23 +1,50 @@
-type 'a entry = { mutable active : bool; resume : 'a -> unit }
+type 'a entry = { mutable active : bool; resume : 'a -> unit; owner : 'a t }
 
-type 'a t = { q : 'a entry Queue.t }
+and 'a t = {
+  q : 'a entry Queue.t;
+  eng : Engine.t option;
+      (** When known (every creation site in the tree passes it), dead-entry
+          occupancy is also folded into the engine-wide aggregate the
+          profiler samples ([Engine.waitq_dead]). *)
+  mutable dead : int;
+      (** Cancelled entries still queued: they occupy slots (and memory)
+          until they reach the head and are purged. *)
+}
 
-let create () = { q = Queue.create () }
+let create ?eng () = { q = Queue.create (); eng; dead = 0 }
 
 let push t resume =
-  let e = { active = true; resume } in
+  let e = { active = true; resume; owner = t } in
   Queue.push e t.q;
   e
 
-let cancel e = e.active <- false
+let note_dead t n =
+  t.dead <- t.dead + n;
+  match t.eng with
+  | None -> ()
+  | Some eng -> Engine.Introspect.waitq_dead_add eng n
+
+let cancel e =
+  if e.active then begin
+    e.active <- false;
+    note_dead e.owner 1
+  end
+
 let is_active e = e.active
+
+let dead_count t = t.dead
 
 (* Dead (cancelled or already-woken) entries stay queued until they reach the
    head; popping purges them so they never consume a wake-up. *)
 let rec pop_active t =
   match Queue.take_opt t.q with
   | None -> None
-  | Some e -> if e.active then Some e else pop_active t
+  | Some e ->
+      if e.active then Some e
+      else begin
+        note_dead t (-1);
+        pop_active t
+      end
 
 let wake_one t v =
   match pop_active t with
@@ -57,7 +84,7 @@ type 'a timed = Signalled of 'a | Timed_out
 let wait_timeout eng t ~timeout =
   Engine.suspend eng (fun resume ->
       let entry = push t (fun v -> resume (Signalled v)) in
-      Engine.schedule eng ~after:timeout (fun () ->
+      Engine.schedule eng ~name:"timeout" ~after:timeout (fun () ->
           if is_active entry then begin
             cancel entry;
             resume Timed_out

@@ -10,7 +10,10 @@ type 'a t
 
 type 'a entry
 
-val create : unit -> 'a t
+val create : ?eng:Engine.t -> unit -> 'a t
+(** When [eng] is given, this queue's dead-entry occupancy is also folded
+    into the engine-wide [Engine.waitq_dead] aggregate, which the profiler
+    samples; behaviour is otherwise identical. *)
 
 val push : 'a t -> ('a -> unit) -> 'a entry
 (** Register a resume function, typically obtained from {!Engine.suspend}. *)
@@ -33,6 +36,11 @@ val take : 'a t -> ('a -> unit) option
 
 val length : 'a t -> int
 (** Number of currently-active waiters. *)
+
+val dead_count : 'a t -> int
+(** Cancelled entries still occupying queue slots (they are purged lazily,
+    when they reach the head). A persistently high value means timeouts are
+    firing much faster than wake-ups drain the queue. *)
 
 val is_empty : 'a t -> bool
 

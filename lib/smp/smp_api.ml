@@ -33,7 +33,7 @@ let compute th dt = K.Sched.compute_on th.sys.Smp_os.sched (current_core th) dt
 let spawn th body : K.Ids.tid =
   let task = Smp_os.clone th.sys th.proc ~core:(current_core th) in
   let child = { sys = th.sys; proc = th.proc; task } in
-  Engine.spawn (Smp_os.eng th.sys)
+  Engine.spawn (Smp_os.eng th.sys) ~tag:"smp"
     ~name:(Printf.sprintf "smp-thread-%d" task.K.Task.tid)
     (fun () ->
       schedule_in child;
@@ -68,7 +68,7 @@ let futex_wake th ~addr ~count =
 let fork th main : Smp_os.process =
   let child, task = Smp_os.fork th.sys th.proc ~core:(current_core th) in
   let cth = { sys = th.sys; proc = child; task } in
-  Engine.spawn (Smp_os.eng th.sys)
+  Engine.spawn (Smp_os.eng th.sys) ~tag:"smp"
     ~name:(Printf.sprintf "smp-proc-%d-main" child.Smp_os.pid)
     (fun () ->
       schedule_in cth;
@@ -84,7 +84,7 @@ let fork th main : Smp_os.process =
 let start_process sys main : Smp_os.process =
   let proc, task = Smp_os.create_process sys in
   let th = { sys; proc; task } in
-  Engine.spawn (Smp_os.eng sys)
+  Engine.spawn (Smp_os.eng sys) ~tag:"smp"
     ~name:(Printf.sprintf "smp-proc-%d-main" proc.Smp_os.pid)
     (fun () ->
       schedule_in th;

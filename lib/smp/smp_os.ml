@@ -109,7 +109,7 @@ let create_process t : process * K.Task.t =
           ~name:(Printf.sprintf "mm.%d" pid);
       live_threads = 0;
       threads_per_core = Hashtbl.create 16;
-      exit_waiters = Waitq.create ();
+      exit_waiters = Waitq.create ~eng:(eng t) ();
     }
   in
   Hashtbl.replace t.procs pid proc;
@@ -224,7 +224,7 @@ let fork t (parent : process) ~core : process * K.Task.t =
           ~name:(Printf.sprintf "mm.%d" pid);
       live_threads = 1;
       threads_per_core = Hashtbl.create 16;
-      exit_waiters = Waitq.create ();
+      exit_waiters = Waitq.create ~eng:(eng t) ();
     }
   in
   Hashtbl.replace t.procs pid child;

@@ -12,7 +12,7 @@ type t = {
 
 let create eng n =
   assert (n >= 0);
-  { eng; remaining = n; waiters = Sim.Waitq.create () }
+  { eng; remaining = n; waiters = Sim.Waitq.create ~eng () }
 
 let arrive t =
   assert (t.remaining > 0);

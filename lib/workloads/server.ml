@@ -37,10 +37,10 @@ let run cluster dispatcher config =
   (* The generator never waits for outcomes: arrival [i] fires
      [interarrival i] after arrival [i-1], full stop. Each request rides
      its own fiber so a slow placement delays nothing but itself. *)
-  Engine.spawn eng ~name:"server-gen" (fun () ->
+  Engine.spawn eng ~tag:"workload" ~name:"server-gen" (fun () ->
       for i = 1 to config.requests do
         Engine.sleep eng (config.interarrival i);
-        Engine.spawn eng
+        Engine.spawn eng ~tag:"workload"
           ~name:(Printf.sprintf "req-%d" i)
           (fun () ->
             let t0 = Engine.now eng in

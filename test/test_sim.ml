@@ -356,6 +356,101 @@ let test_trace_chronological () =
   Alcotest.(check (list string)) "insertion order" [ "late"; "early" ]
     (List.map (fun e -> e.Trace.msg) (Trace.events tr))
 
+(* Scheduler introspection: the counters the profiler samples. All of them
+   are maintained unconditionally, so these tests need no observer. *)
+
+let test_eheap_high_water () =
+  let h = Eheap.create () in
+  Alcotest.(check int) "empty" 0 (Eheap.length h);
+  for i = 1 to 5 do
+    Eheap.push h ~at:i ~seq:i i
+  done;
+  Alcotest.(check int) "length tracks pushes" 5 (Eheap.length h);
+  ignore (Eheap.pop h);
+  ignore (Eheap.pop h);
+  Alcotest.(check int) "length tracks pops" 3 (Eheap.length h);
+  Alcotest.(check int) "high-water survives pops" 5 (Eheap.max_length h);
+  for i = 6 to 12 do
+    Eheap.push h ~at:i ~seq:i i
+  done;
+  (* 3 remaining + 7 new = 10, a new high-water mark. *)
+  Alcotest.(check int) "high-water advances" 10 (Eheap.max_length h)
+
+let test_engine_queue_depth () =
+  let eng = Engine.create () in
+  Engine.schedule eng ~after:10 (fun () -> ());
+  Engine.schedule eng ~after:20 (fun () -> ());
+  Engine.schedule eng ~after:30 (fun () -> ());
+  Alcotest.(check int) "depth before run" 3 (Engine.queue_length eng);
+  Engine.run eng;
+  Alcotest.(check int) "drained" 0 (Engine.queue_length eng);
+  Alcotest.(check int) "high-water survives the run" 3
+    (Engine.queue_max_length eng);
+  Alcotest.(check int) "events processed" 3 (Engine.events_processed eng)
+
+let test_park_resume_counters () =
+  let eng = Engine.create () in
+  let resume_cell = ref None in
+  Engine.spawn eng (fun () ->
+      (* Sleeping is not parking: only [suspend] counts. *)
+      Engine.sleep eng (Time.us 1);
+      ignore (Engine.suspend eng (fun r -> resume_cell := Some r)));
+  Engine.schedule eng ~after:(Time.us 10) (fun () ->
+      match !resume_cell with
+      | Some r ->
+          r 1;
+          (* Extra fires are idempotent and must not double-count. *)
+          r 2
+      | None -> ());
+  Engine.run eng;
+  Alcotest.(check int) "one park" 1 (Engine.parks eng);
+  Alcotest.(check int) "one resume" 1 (Engine.resumes eng)
+
+let test_waitq_dead_occupancy () =
+  let eng = Engine.create () in
+  let q : unit Waitq.t = Waitq.create ~eng () in
+  let entries = ref [] in
+  for i = 1 to 3 do
+    Engine.spawn eng (fun () ->
+        Engine.suspend eng (fun resume ->
+            entries := (i, Waitq.push q (fun () -> resume ())) :: !entries))
+  done;
+  Engine.schedule eng ~after:10 (fun () ->
+      (match List.assoc_opt 2 !entries with
+      | Some e ->
+          Waitq.cancel e;
+          (* Cancelling twice counts once. *)
+          Waitq.cancel e
+      | None -> ());
+      Alcotest.(check int) "queue-level dead count" 1 (Waitq.dead_count q);
+      Alcotest.(check int) "engine aggregate" 1 (Engine.waitq_dead eng);
+      (* Waking drains past the dead entry, reclaiming it. *)
+      ignore (Waitq.wake_one q ());
+      ignore (Waitq.wake_one q ());
+      Alcotest.(check int) "dead entry purged" 0 (Waitq.dead_count q);
+      Alcotest.(check int) "engine aggregate drops" 0 (Engine.waitq_dead eng);
+      Alcotest.(check int) "high-water survives" 1 (Engine.waitq_dead_max eng));
+  Engine.run eng
+
+let test_chan_queued_gauge () =
+  let eng = Engine.create () in
+  let ch = Channel.create eng ~capacity:4 in
+  Engine.spawn eng (fun () ->
+      for i = 1 to 3 do
+        Channel.send ch i
+      done);
+  Engine.run eng;
+  Alcotest.(check int) "buffered items" 3 (Engine.chan_queued eng);
+  Alcotest.(check int) "high-water" 3 (Engine.chan_queued_max eng);
+  Engine.spawn eng (fun () ->
+      for _ = 1 to 3 do
+        ignore (Channel.recv ch)
+      done);
+  Engine.run eng;
+  Alcotest.(check int) "drained" 0 (Engine.chan_queued eng);
+  Alcotest.(check int) "high-water survives drain" 3
+    (Engine.chan_queued_max eng)
+
 (* Property tests *)
 
 let prop_heap_ordering =
@@ -452,6 +547,18 @@ let () =
           Alcotest.test_case "fifo" `Quick test_channel_fifo;
           Alcotest.test_case "backpressure" `Quick test_channel_backpressure;
           Alcotest.test_case "recv timeout" `Quick test_channel_recv_timeout;
+        ] );
+      ( "introspection",
+        [
+          Alcotest.test_case "eheap high-water" `Quick test_eheap_high_water;
+          Alcotest.test_case "engine queue depth" `Quick
+            test_engine_queue_depth;
+          Alcotest.test_case "park/resume counters" `Quick
+            test_park_resume_counters;
+          Alcotest.test_case "waitq dead occupancy" `Quick
+            test_waitq_dead_occupancy;
+          Alcotest.test_case "channel queued gauge" `Quick
+            test_chan_queued_gauge;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
