@@ -61,6 +61,30 @@ let coherence =
     & opt (enum protos) Coherence.Protocol.Origin_home
     & info [ "coherence" ] ~docv:"PROTO" ~doc)
 
+(* Validated numeric converters: a nonsensical $(b,--top 0) or
+   $(b,--fail-on-regress -5) is a usage error at parse time, not a value
+   to silently accept (a negative threshold would flag every unchanged
+   metric as a regression). *)
+let positive_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n > 0 -> Ok n
+    | Some _ -> Error (`Msg (Printf.sprintf "%S must be a positive integer" s))
+    | None -> Error (`Msg (Printf.sprintf "%S is not an integer" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let nonneg_float =
+  let parse s =
+    match float_of_string_opt s with
+    | Some f when Float.is_finite f && f >= 0. -> Ok f
+    | Some _ ->
+        Error
+          (`Msg (Printf.sprintf "%S must be a finite non-negative number" s))
+    | None -> Error (`Msg (Printf.sprintf "%S is not a number" s))
+  in
+  Arg.conv (parse, fun ppf f -> Format.fprintf ppf "%g" f)
+
 let jobs =
   let doc =
     "Run up to $(docv) experiments concurrently on separate domains \
@@ -341,7 +365,7 @@ let profile_cmd =
   in
   let top =
     let doc = "Show the $(docv) hottest labels in the attribution table." in
-    Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc)
+    Arg.(value & opt positive_int 10 & info [ "top" ] ~docv:"N" ~doc)
   in
   let folded_out =
     let doc =
@@ -382,13 +406,12 @@ let profile_cmd =
               Experiments.Registry.run_one ~quick ~observe ~profile ~seed
                 ~coherence e
             in
-            Printf.printf "  %-24s %8.0f ms  %9d events  %8.2f Mev/s\n" label
+            Printf.printf "  %-24s %8.0f ms  %9d events  %12s\n" label
               o.Experiments.Registry.host_ms
               o.Experiments.Registry.events_processed
-              (if o.Experiments.Registry.host_ms > 0. then
-                 float_of_int o.Experiments.Registry.events_processed
-                 /. o.Experiments.Registry.host_ms /. 1e3
-               else 0.);
+              (Experiments.Registry.render_mev_s
+                 ~events:o.Experiments.Registry.events_processed
+                 ~host_ms:o.Experiments.Registry.host_ms);
             o.Experiments.Registry.host_ms
           in
           let off = time "observability off" ~observe:false ~profile:false in
@@ -495,7 +518,7 @@ let diff_cmd =
     in
     Arg.(
       value
-      & opt (some float) None
+      & opt (some nonneg_float) None
       & info [ "fail-on-regress" ] ~docv:"PCT" ~doc)
   in
   let run old_file new_file fail_pct =

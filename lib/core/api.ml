@@ -53,11 +53,13 @@ let unschedule th =
   | None -> ()
 
 (** Migrate this thread to kernel [dst]; returns the migration cost
-    breakdown. On return the thread is running on [dst]. *)
-let migrate th ~dst =
+    breakdown. On return the thread is running on [dst]. [deadline] is an
+    optional end-to-end budget (simulated ns) accounted by the SLO layer. *)
+let migrate ?deadline th ~dst =
   check_alive th;
   let kernel = current_kernel th in
-  Migration.migrate th.cluster kernel ~core:(current_core th) th.task ~dst
+  Migration.migrate ?deadline th.cluster kernel ~core:(current_core th)
+    th.task ~dst
 
 (** Burn CPU on the thread's current core for the given duration. The end
     of a compute slice is a cooperative migration point: balancer hints

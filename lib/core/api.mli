@@ -50,9 +50,12 @@ val spawn :
     the caller's kernel), running the body. Returns once the thread exists;
     the body runs concurrently. *)
 
-val migrate : thread -> dst:int -> Migration.breakdown
+val migrate : ?deadline:Sim.Time.t -> thread -> dst:int -> Migration.breakdown
 (** Move this thread to kernel [dst]; on return it is running there. The
-    returned breakdown decomposes the cost (experiment T1). *)
+    returned breakdown decomposes the cost (experiment T1). When
+    [deadline] (an end-to-end budget in simulated ns) is given, the SLO
+    layer counts the migration as met or violated — see
+    {!Migration.migrate}; accounting only, never a behaviour change. *)
 
 (** {1 Memory} *)
 

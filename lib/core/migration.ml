@@ -93,6 +93,40 @@ let handle_migrate_cancel cluster (kernel : kernel) ~pid ~tid =
         kernel.kid tid
   | Some _ | None -> ignore pid
 
+(* Deadline (SLO) accounting for one finished migration. A migration
+   counts as met only when it actually migrated within budget; a
+   fallback-to-origin is a violation regardless of how fast it gave up
+   (the thread is not where it was promised to be). Violations also
+   record the overrun and charge the phase that ate the largest share of
+   the budget, so the metrics alone say *where* bounded migrations go to
+   die (the critical-path analysis refines this offline per worst path). *)
+let slo_account cluster ~deadline (b : breakdown) =
+  (match deadline with
+  | None -> ()
+  | Some d ->
+      if b.migrated && b.total_ns <= d then m_incr cluster "slo.met"
+      else begin
+        m_incr cluster "slo.violations";
+        m_observe cluster "slo.overrun_ns"
+          (float_of_int (Stdlib.max 0 (b.total_ns - d)));
+        let phases =
+          [
+            ("save_ctx", b.save_ctx_ns);
+            ("messaging", b.messaging_ns);
+            ("import", b.import_ns);
+            ("schedule_in", b.schedule_in_ns);
+            ("prefetch", b.prefetch_ns);
+          ]
+        in
+        let dominant, _ =
+          List.fold_left
+            (fun (bn, bv) (n, v) -> if v > bv then (n, v) else (bn, bv))
+            (List.hd phases) (List.tl phases)
+        in
+        m_incr cluster ("slo.violation_phase." ^ dominant)
+      end);
+  b
+
 (* Pull the migrated thread's recent working set to the destination, as
    read replicas, before it resumes. Trades migration latency for fewer
    post-migration remote faults (the A1 ablation experiment measures the
@@ -121,18 +155,19 @@ let prefetch_working_set cluster (dst_kernel : kernel) (task : K.Task.t)
 (** Migrate [task] (running on [kernel]/[core]) to [dst]. The caller is the
     thread's own fiber; on return the task lives on [dst] and the fiber
     should continue computing there. *)
-let migrate cluster (kernel : kernel) ~core (task : K.Task.t) ~dst :
+let migrate ?deadline cluster (kernel : kernel) ~core (task : K.Task.t) ~dst :
     breakdown =
   if dst = kernel.kid then
-    {
-      save_ctx_ns = 0;
-      messaging_ns = 0;
-      import_ns = 0;
-      schedule_in_ns = 0;
-      prefetch_ns = 0;
-      total_ns = 0;
-      migrated = true;
-    }
+    slo_account cluster ~deadline
+      {
+        save_ctx_ns = 0;
+        messaging_ns = 0;
+        import_ns = 0;
+        schedule_in_ns = 0;
+        prefetch_ns = 0;
+        total_ns = 0;
+        migrated = true;
+      }
   else begin
     let eng = eng cluster in
     let p = params cluster in
@@ -207,15 +242,16 @@ let migrate cluster (kernel : kernel) ~core (task : K.Task.t) ~dst :
         m_incr cluster ~kernel:kernel.kid "migration.completed";
         m_observe cluster ~kernel:kernel.kid "migration.total_ns"
           (float_of_int (Sim.Time.sub t_end t0));
-        {
-          save_ctx_ns = Sim.Time.sub t_saved t0;
-          messaging_ns = Sim.Time.sub t_acked t_saved - import_ns;
-          import_ns;
-          schedule_in_ns = Sim.Time.sub t_sched t_acked;
-          prefetch_ns = Sim.Time.sub t_end t_sched;
-          total_ns = Sim.Time.sub t_end t0;
-          migrated = true;
-        }
+        slo_account cluster ~deadline
+          {
+            save_ctx_ns = Sim.Time.sub t_saved t0;
+            messaging_ns = Sim.Time.sub t_acked t_saved - import_ns;
+            import_ns;
+            schedule_in_ns = Sim.Time.sub t_sched t_acked;
+            prefetch_ns = Sim.Time.sub t_end t_sched;
+            total_ns = Sim.Time.sub t_end t0;
+            migrated = true;
+          }
     | Some _ -> assert false
     | None ->
         (* Graceful degradation: every attempt timed out. Tell the
@@ -236,13 +272,14 @@ let migrate cluster (kernel : kernel) ~core (task : K.Task.t) ~dst :
         trace cluster ~cat:"migrate"
           "tid %d: k%d -> k%d gave up after retries; falling back to origin"
           task.K.Task.tid kernel.kid dst;
-        {
-          save_ctx_ns = Sim.Time.sub t_saved t0;
-          messaging_ns = Sim.Time.sub t_gave_up t_saved;
-          import_ns = 0;
-          schedule_in_ns = Sim.Time.sub t_end t_gave_up;
-          prefetch_ns = 0;
-          total_ns = Sim.Time.sub t_end t0;
-          migrated = false;
-        }
+        slo_account cluster ~deadline
+          {
+            save_ctx_ns = Sim.Time.sub t_saved t0;
+            messaging_ns = Sim.Time.sub t_gave_up t_saved;
+            import_ns = 0;
+            schedule_in_ns = Sim.Time.sub t_end t_gave_up;
+            prefetch_ns = 0;
+            total_ns = Sim.Time.sub t_end t0;
+            migrated = false;
+          }
   end

@@ -46,6 +46,7 @@ val handle_migrate_cancel : cluster -> kernel -> pid:pid -> tid:tid -> unit
     no import happened, or when the thread legitimately lives here. *)
 
 val migrate :
+  ?deadline:Sim.Time.t ->
   cluster ->
   kernel ->
   core:Hw.Topology.core ->
@@ -56,4 +57,13 @@ val migrate :
     [dst]. On return the task lives on [dst]; migrating to the current
     kernel is a free no-op. With the [migration_retry] option set, a
     migration whose retries are exhausted returns with [migrated = false]
-    and the task still running on the origin kernel. *)
+    and the task still running on the origin kernel.
+
+    [deadline] is an end-to-end latency budget in simulated ns. When
+    given, the migration is accounted against it: [slo.met] when it
+    completed within budget, else [slo.violations] plus the overrun
+    ([slo.overrun_ns] histogram) and the dominant phase of the blown
+    budget ([slo.violation_phase.<phase>]). A failed migration (retries
+    exhausted) always counts as a violation. Deadlines never change
+    protocol behaviour — accounting only, so deadline-carrying runs stay
+    bit-identical to deadline-free ones in simulated time. *)

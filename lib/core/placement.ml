@@ -183,9 +183,21 @@ let note_outcome t ~kernel ok =
       if ok then Health.note_success h ~kernel
       else Health.note_failure h ~kernel
 
-let dispatch t ~cost_ns =
+let dispatch ?deadline:slo_deadline t ~cost_ns =
   let cluster = t.cluster in
   let fk = kernel_of cluster t.frontend in
+  let t0 = Engine.now (eng cluster) in
+  (* Deadline accounting for dispatches that do land (rejections and
+     failures are already first-class outcomes with their own counters;
+     the deadline question is about the latency of the successes). *)
+  let slo_placed () =
+    match slo_deadline with
+    | None -> ()
+    | Some d ->
+        if Time.sub (Engine.now (eng cluster)) t0 <= d then
+          m_incr cluster "slo.dispatch.met"
+        else m_incr cluster "slo.dispatch.violations"
+  in
   m_incr cluster ~kernel:t.frontend "placement.requests";
   if t.total >= t.high_water then begin
     m_incr cluster ~kernel:t.frontend "placement.rejected";
@@ -225,7 +237,10 @@ let dispatch t ~cost_ns =
             | None ->
                 note_outcome t ~kernel:dst false;
                 m_incr cluster ~kernel:t.frontend "placement.attempt_timeout");
-            if resp <> None then Placed { kernel = dst; attempts = n }
+            if resp <> None then begin
+              slo_placed ();
+              Placed { kernel = dst; attempts = n }
+            end
             else attempt (n + 1) (dst :: tried)
     in
     attempt 1 []

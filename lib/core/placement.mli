@@ -100,10 +100,14 @@ type outcome =
   | Failed of { attempts : int }
       (** every attempt missed its deadline (or no kernel was available). *)
 
-val dispatch : t -> cost_ns:int -> outcome
+val dispatch : ?deadline:Sim.Time.t -> t -> cost_ns:int -> outcome
 (** Place one request costing [cost_ns] of CPU and wait for its response
     (must run in a fiber). Feeds {!Health} with the outcome of every
-    attempt and bumps [placement.*] metrics when observability is on. *)
+    attempt and bumps [placement.*] metrics when observability is on.
+    When [deadline] (end-to-end budget in simulated ns, spanning every
+    retry) is given, each [Placed] outcome additionally counts towards
+    [slo.dispatch.met] or [slo.dispatch.violations]. Accounting only —
+    a late response is still returned, never cancelled. *)
 
 val observe_health : cluster -> Health.t -> unit
 (** Wire a health tracker into the cluster's observability: every

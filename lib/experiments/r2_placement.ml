@@ -128,7 +128,8 @@ let run_cell ctx ~requests ~gap ~scenario () : cell =
            | _ -> fun _ -> gap
          in
          let config =
-           { Workloads.Server.requests; interarrival; cost_ns }
+           { Workloads.Server.requests; interarrival; cost_ns;
+             deadline_ns = None }
          in
          stats := Some (Workloads.Server.run cluster disp config);
          Popcorn.Health.stop health;

@@ -1,0 +1,214 @@
+(** R4 — the deadline SLO envelope: fault rate x offered load.
+
+    Not a paper figure: the predictability companion to R1/R2. Every
+    other experiment reports how fast migration is; this one asks when it
+    stops being {e predictably} fast. Two deadline-carrying streams share
+    a cluster: worker threads ping-pong migrations between kernels, each
+    migration carrying an end-to-end deadline ([Popcorn.Api.migrate
+    ?deadline]), and an open-loop request stream ([Workloads.Server] with
+    [deadline_ns]) loads the same kernels through the placement layer. A
+    seeded fault plan ([Inject.Plan]) degrades the fabric. Sweeping fault
+    rate x arrival rate yields the {e envelope}: the region of the
+    (fault, load) plane where the migration SLO still holds, and the
+    frontier where violations first exceed the threshold.
+
+    Deadlines are accounting-only (they never change protocol behaviour),
+    so every cell is bit-identical to the same cell without deadlines —
+    and the whole sweep is deterministic in (seed, cell), which is what
+    lets CI assert the exported [slo] section is byte-stable under
+    [--jobs 4]. *)
+
+open Sim
+module P = Popcorn.Types
+
+let kernels = 4
+let frontend = 0
+let workers = 6
+let cost_ns = Time.us 40
+
+(* Budgets. A fault-free migration on this cluster shape lands well under
+   50us even with the server load resident; the envelope should open with
+   a clean 0% column. The dispatch budget spans every placement retry. *)
+let migration_deadline = Time.us 80
+let dispatch_deadline = Time.us 200
+
+(* Retries keep faulty cells from wedging; a blown retry shows up as a
+   deadline violation (fallback counts as violated), not a hang. *)
+let retry_policy =
+  {
+    Msg.Rpc.max_tries = 4;
+    base_timeout = Time.us 50;
+    backoff_factor = 2;
+    max_timeout = Time.ms 1;
+  }
+
+type cell = {
+  m_attempts : int;
+  m_met : int;
+  m_viol : int;
+  m_worst_ns : int;  (** slowest migration, met or not (exact, not p99). *)
+  stats : Workloads.Server.stats;
+}
+
+let viol_pct c =
+  100. *. float_of_int c.m_viol /. float_of_int (max 1 c.m_attempts)
+
+(* One sweep cell: the migration stream and the server stream run
+   concurrently on one cluster under one fault plan. The fault window
+   opens only after every migration worker exists (spawn is not
+   retry-protected) and closes before teardown. *)
+let run_cell ctx ~requests ~gap ~migrations ~fault_rate () : cell =
+  let met = ref 0 and viol = ref 0 and attempts = ref 0 in
+  let worst = ref 0 in
+  let stats = ref None in
+  let opts =
+    { P.default_options with P.migration_retry = Some retry_policy }
+  in
+  ignore
+    (Common.run_popcorn ctx ~opts ~kernels (fun cluster th ->
+         let eng = P.eng cluster in
+         let plan = Inject.Plan.create ~seed:1337 eng in
+         Inject.Plan.attach plan cluster.P.fabric;
+         let faulty =
+           {
+             Inject.Plan.drop = fault_rate;
+             duplicate = fault_rate /. 2.;
+             delay = fault_rate;
+             delay_max = Time.us 20;
+             doorbell_loss = fault_rate;
+             doorbell_recovery = Time.us 30;
+           }
+         in
+         let disp = Popcorn.Placement.create ~frontend cluster in
+         let start = Barrier.create eng ~parties:(workers + 1) in
+         let latch = Workloads.Latch.create eng workers in
+         for w = 0 to workers - 1 do
+           ignore
+             (Popcorn.Api.spawn th ~target:0 (fun worker ->
+                  ignore (Barrier.wait start);
+                  let partner = 1 + (w mod (kernels - 1)) in
+                  for _ = 1 to migrations do
+                    Popcorn.Api.compute worker (Time.us 2);
+                    let here = (Popcorn.Api.current_kernel worker).P.kid in
+                    let dst = if here = 0 then partner else 0 in
+                    let b =
+                      Popcorn.Api.migrate ~deadline:migration_deadline worker
+                        ~dst
+                    in
+                    incr attempts;
+                    worst := max !worst b.Popcorn.Migration.total_ns;
+                    if
+                      b.Popcorn.Migration.migrated
+                      && b.Popcorn.Migration.total_ns <= migration_deadline
+                    then incr met
+                    else incr viol
+                  done;
+                  Workloads.Latch.arrive latch))
+         done;
+         (* Everyone exists: open the fault window, release both streams. *)
+         Inject.Plan.set_default_rates plan faulty;
+         ignore (Barrier.wait start);
+         let config =
+           {
+             Workloads.Server.requests;
+             interarrival = (fun _ -> gap);
+             cost_ns;
+             deadline_ns = Some dispatch_deadline;
+           }
+         in
+         stats := Some (Workloads.Server.run cluster disp config);
+         Workloads.Latch.wait latch;
+         Inject.Plan.set_default_rates plan Inject.Plan.zero));
+  {
+    m_attempts = !attempts;
+    m_met = !met;
+    m_viol = !viol;
+    m_worst_ns = !worst;
+    stats = Option.get !stats;
+  }
+
+(* The envelope frontier: within one arrival rate (one row), the first
+   fault rate whose violation share exceeds the threshold. *)
+let threshold_pct = 1.0
+
+let run (ctx : Run_ctx.t) =
+  let quick = ctx.Run_ctx.quick in
+  let rates =
+    if quick then [ ("500k/s", Time.us 2); ("1M/s", Time.us 1) ]
+    else [ ("250k/s", Time.us 4); ("500k/s", Time.us 2); ("1M/s", Time.us 1) ]
+  in
+  let fault_rates =
+    if quick then [ 0.0; 0.05; 0.2 ] else [ 0.0; 0.02; 0.05; 0.1; 0.2 ]
+  in
+  let requests = if quick then 1200 else 6000 in
+  let migrations = if quick then 8 else 20 in
+  let t =
+    Stats.Table.create
+      ~title:
+        (Printf.sprintf
+           "R4: deadline SLO sweep (%d kernels; %d workers x %d migrations \
+            @ %s deadline; %d requests @ %s dispatch deadline)"
+           kernels workers migrations
+           (Stats.Table.fmt_ns (float_of_int migration_deadline))
+           requests
+           (Stats.Table.fmt_ns (float_of_int dispatch_deadline)))
+      ~columns:
+        [
+          "rate";
+          "fault";
+          "migrations";
+          "met";
+          "violated";
+          "viol%";
+          "worst";
+          "goodput";
+          "in-deadline";
+        ]
+  in
+  let env =
+    Stats.Table.create
+      ~title:
+        (Printf.sprintf
+           "R4 envelope: migration SLO violations (%% of attempts; * marks \
+            the frontier, first cell past %.1f%%)"
+           threshold_pct)
+      ~columns:("rate \\ fault" :: List.map (Printf.sprintf "%.2f") fault_rates)
+  in
+  List.iter
+    (fun (rname, gap) ->
+      let cells =
+        List.map
+          (fun fault_rate ->
+            (fault_rate, run_cell ctx ~requests ~gap ~migrations ~fault_rate ()))
+          fault_rates
+      in
+      List.iter
+        (fun (fault_rate, c) ->
+          let s = c.stats in
+          Stats.Table.add_row t
+            [
+              rname;
+              Printf.sprintf "%.2f" fault_rate;
+              string_of_int c.m_attempts;
+              string_of_int c.m_met;
+              string_of_int c.m_viol;
+              Printf.sprintf "%.1f%%" (viol_pct c);
+              Stats.Table.fmt_ns (float_of_int c.m_worst_ns);
+              Printf.sprintf "%.1f%%" (100. *. Workloads.Server.goodput s);
+              Printf.sprintf "%.1f%%"
+                (100. *. Workloads.Server.goodput_within s);
+            ])
+        cells;
+      let frontier =
+        List.find_opt (fun (_, c) -> viol_pct c > threshold_pct) cells
+        |> Option.map fst
+      in
+      Stats.Table.add_row env
+        (rname
+        :: List.map
+             (fun (fr, c) ->
+               Printf.sprintf "%.1f%%%s" (viol_pct c)
+                 (if frontier = Some fr then " *" else ""))
+             cells))
+    rates;
+  [ t; env ]

@@ -75,6 +75,11 @@ let all : t list =
       title = "Coherence protocol crossover (kernels x write-sharing)";
       run = R3_coherence.run;
     };
+    {
+      id = "R4";
+      title = "Deadline SLO envelope (fault rate x offered load)";
+      run = R4_slo.run;
+    };
   ]
 
 let find id =
@@ -85,9 +90,10 @@ let find id =
     excluded), the total simulator events the body executed (with the
     derived events/sec, the tracked engine-throughput metric — host time is
     noisy, so both are informational: excluded from determinism digests and
-    from [diff] regression gating), the observability sink and profiler
-    that were live during the run (when [observe] / [profile] were on), and
-    the fully rendered textual output. [run_one] never prints — callers
+    from [diff] regression gating; the rate is [None] below timer
+    resolution), the observability sink and profiler that were live during
+    the run (when [observe] / [profile] were on), the worst-case & SLO
+    summary (when observed), and the fully rendered textual output. [run_one] never prints — callers
     decide when to emit [output], which is what lets [run_all] overlap
     experiment execution while still presenting results in registry
     order. *)
@@ -98,11 +104,25 @@ type outcome = {
   tables : Stats.Table.t list;
   sink : Obs.Sink.t option;
   prof : Obs.Prof.t option;
+  slo : Obs.Slo.t option;
   output : string;
 }
 
+(* Below ~1 ms of host time the division is dominated by timer
+   resolution — the "rate" would be noise, or a flat 0.0 when the clock
+   never ticked, which reads as "infinitely slow". Report absence
+   instead; callers render it as "n/a". *)
+let min_rate_host_ms = 1.0
+
 let events_per_sec ~events ~host_ms =
-  if host_ms > 0. then float_of_int events /. (host_ms /. 1e3) else 0.
+  if host_ms >= min_rate_host_ms then
+    Some (float_of_int events /. (host_ms /. 1e3))
+  else None
+
+let render_mev_s ~events ~host_ms =
+  match events_per_sec ~events ~host_ms with
+  | Some r -> Printf.sprintf "%.2f Mev/s" (r /. 1e6)
+  | None -> "n/a Mev/s"
 
 let run_one ?(quick = false) ?(observe = false) ?(profile = false) ?seed
     ?coherence (e : t) : outcome =
@@ -130,6 +150,25 @@ let run_one ?(quick = false) ?(observe = false) ?(profile = false) ?seed
       Obs.Metrics.add s.Obs.Sink.metrics "spans.unclosed" unclosed;
       Obs.Metrics.add s.Obs.Sink.metrics "trace.dropped"
         (Sim.Trace.total s.Obs.Sink.trace - Sim.Trace.count s.Obs.Sink.trace));
+  (* Worst-case & SLO summary over the run's span DAG. Recording it into
+     the metrics registry (slo.<kind>.worst_case_ns gauges) is what lets
+     the committed baseline carry the bound and `popcornsim diff` gate a
+     worst-case regression like any other time metric. Purely a function
+     of simulated data, so it is bit-identical across hosts and --jobs. *)
+  let slo =
+    match sink with
+    | None -> None
+    | Some s ->
+        let t =
+          Obs.Slo.summarize
+            ~counters:(Obs.Slo.counters_of_registry s.Obs.Sink.metrics)
+            ~spans:(Obs.Critpath.ispans_of_recorder s.Obs.Sink.spans)
+            ~causal:(Obs.Causal.events s.Obs.Sink.causal)
+            ()
+        in
+        Obs.Slo.record t s.Obs.Sink.metrics;
+        Some t
+  in
   let b = Buffer.create 4096 in
   Printf.bprintf b "\n### %s — %s\n\n" e.id e.title;
   Buffer.add_string b (Run_ctx.output ctx);
@@ -138,9 +177,9 @@ let run_one ?(quick = false) ?(observe = false) ?(profile = false) ?seed
       Buffer.add_string b (Stats.Table.render t);
       Buffer.add_char b '\n')
     tables;
-  Printf.bprintf b "(%s: %.0f ms host time, %d events, %.2f Mev/s)\n" e.id
-    host_ms events_processed
-    (events_per_sec ~events:events_processed ~host_ms /. 1e6);
+  Printf.bprintf b "(%s: %.0f ms host time, %d events, %s)\n" e.id host_ms
+    events_processed
+    (render_mev_s ~events:events_processed ~host_ms);
   {
     spec = e;
     host_ms;
@@ -148,6 +187,7 @@ let run_one ?(quick = false) ?(observe = false) ?(profile = false) ?seed
     tables;
     sink;
     prof;
+    slo;
     output = Buffer.contents b;
   }
 
@@ -217,10 +257,15 @@ let outcome_json ?(metrics_only = false) (o : outcome) =
           these. *)
        ("events_processed", Obs.Json.Int o.events_processed);
        ( "events_per_sec",
-         Obs.Json.Float
-           (events_per_sec ~events:o.events_processed ~host_ms:o.host_ms) );
+         (* Null (not 0.0) when host time is below timer resolution. *)
+         match events_per_sec ~events:o.events_processed ~host_ms:o.host_ms with
+         | Some r -> Obs.Json.Float r
+         | None -> Obs.Json.Null );
        ("tables", Obs.Json.Arr (List.map table_json o.tables));
      ]
+    @ (match o.slo with
+      | Some t when t.Obs.Slo.kinds <> [] -> [ ("slo", Obs.Slo.to_json t) ]
+      | Some _ | None -> [])
     @
     match o.sink with
     | None -> []

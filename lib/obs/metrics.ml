@@ -12,7 +12,14 @@ type t = { cells : (string * int option, cell) Hashtbl.t }
 type view =
   | Counter of int
   | Gauge of float
-  | Hist of { count : int; mean : float; p50 : float; p99 : float; max : float }
+  | Hist of {
+      count : int;
+      mean : float;
+      p50 : float;
+      p99 : float;
+      p999 : float;
+      max : float;
+    }
 
 let create () = { cells = Hashtbl.create 64 }
 
@@ -137,6 +144,7 @@ let view = function
           mean = Stats.Histogram.mean h;
           p50 = Stats.Histogram.median h;
           p99 = Stats.Histogram.p99 h;
+          p999 = Stats.Histogram.p999 h;
           max = Stats.Histogram.max h;
         }
 
@@ -174,6 +182,7 @@ let to_json t =
                   ("mean", Json.Float h.mean);
                   ("p50", Json.Float h.p50);
                   ("p99", Json.Float h.p99);
+                  ("p999", Json.Float h.p999);
                   ("max", Json.Float h.max);
                 ]
                 row
@@ -201,8 +210,9 @@ let pp fmt t =
         | Counter n -> string_of_int n
         | Gauge x -> Printf.sprintf "%.2f" x
         | Hist h ->
-            Printf.sprintf "n=%d mean=%.0f p50=%.0f p99=%.0f max=%.0f"
-              h.count h.mean h.p50 h.p99 h.max
+            Printf.sprintf
+              "n=%d mean=%.0f p50=%.0f p99=%.0f p999=%.0f max=%.0f" h.count
+              h.mean h.p50 h.p99 h.p999 h.max
       in
       Format.fprintf fmt "%-28s %-5s %s@\n" name scope value)
     (rows t)

@@ -11,11 +11,26 @@
 
 type t
 
-(** Read-only snapshot of one metric. *)
+(** Read-only snapshot of one metric.
+
+    Histogram summaries are computed from {!Stats.Histogram}'s log
+    buckets (4 sub-buckets per octave): every reported percentile — p50,
+    p99 and p999 alike — carries the bucket quantisation's ±9% relative
+    error ([2^(1/8) ≈ 1.09] around the bucket's representative value),
+    while [max] is the exact largest observation. Worst-case/SLO
+    reporting therefore reads [max]; percentiles describe the
+    distribution's shape, not its bound. *)
 type view =
   | Counter of int
   | Gauge of float
-  | Hist of { count : int; mean : float; p50 : float; p99 : float; max : float }
+  | Hist of {
+      count : int;
+      mean : float;
+      p50 : float;
+      p99 : float;
+      p999 : float;
+      max : float;
+    }
 
 val create : unit -> t
 
@@ -68,8 +83,9 @@ val rows : t -> ((string * int option) * view) list
 
 val to_json : t -> Json.t
 (** [{"counters":[{"name","kernel","value"}...], "gauges":[...],
-    "histograms":[{"name","kernel","count","mean","p50","p99","max"}...]}]
-    with entries in {!rows} order; [kernel] is null for global metrics. *)
+    "histograms":[{"name","kernel","count","mean","p50","p99","p999",
+    "max"}...]}] with entries in {!rows} order; [kernel] is null for
+    global metrics. *)
 
 val pp : Format.formatter -> t -> unit
 (** One aligned line per metric, in {!rows} order. *)

@@ -6,6 +6,9 @@ type dataset = {
   label : string;
   spans : Critpath.ispan list;
   causal : Causal.event list;
+  slo_counters : Slo.counters;
+      (* deadline accounting from the experiment's metrics section (zero
+         when the document carries none, e.g. a Chrome trace). *)
 }
 
 (* --- tiny Json accessors (tolerant: wrong shapes read as absent) --- *)
@@ -75,7 +78,7 @@ let datasets_of_chrome_trace j =
       events
   in
   if spans = [] && causal = [] then []
-  else [ { label = "trace"; spans; causal } ]
+  else [ { label = "trace"; spans; causal; slo_counters = Slo.no_counters } ]
 
 let datasets_of_results j =
   List.filter_map
@@ -91,8 +94,13 @@ let datasets_of_results j =
         | Some c -> Causal.events_of_json c
         | None -> []
       in
+      let slo_counters =
+        match field "metrics" e with
+        | Some m -> Slo.counters_of_json m
+        | None -> Slo.no_counters
+      in
       if spans = [] && causal = [] then None
-      else Some { label; spans; causal })
+      else Some { label; spans; causal; slo_counters })
     (arr_field "experiments" j)
 
 let datasets_of_doc j =
@@ -153,6 +161,13 @@ let render_analysis (d : dataset) =
           buf_addf b "    %-16s %12d ns  %5.1f%%\n" name ns
             (100. *. float_of_int ns /. float_of_int (Stdlib.max 1 total)))
         self);
+  (* Worst-case & SLO block: the exact bound (not a percentile) per root
+     kind, the worst path's phase budget, and deadline accounting. *)
+  (match
+     Slo.summarize ~counters:d.slo_counters ~spans:d.spans ~causal:d.causal ()
+   with
+  | { Slo.kinds = []; _ } -> ()
+  | slo -> Buffer.add_string b (Slo.render slo));
   List.iter
     (fun kind ->
       match Critpath.roots ~spans:d.spans ~kind with
@@ -228,7 +243,13 @@ let metrics_of_doc j =
           List.concat_map (entry [ ("", "value") ]) (arr_field "counters" m)
           @ List.concat_map (entry [ ("", "value") ]) (arr_field "gauges" m)
           @ List.concat_map
-              (entry [ (".mean", "mean"); (".p99", "p99"); (".max", "max") ])
+              (entry
+                 [
+                   (".mean", "mean");
+                   (".p99", "p99");
+                   (".p999", "p999");
+                   (".max", "max");
+                 ])
               (arr_field "histograms" m))
     (arr_field "experiments" j)
 
@@ -247,7 +268,7 @@ let is_badness_counter name =
       let n = String.length name and m = String.length suffix in
       n >= m && String.sub name (n - m) m = suffix)
     [ ".failed"; ".dropped"; ".gave_up"; ".dup_suppressed"; ".unclosed";
-      "doorbells_lost" ]
+      ".violations"; "doorbells_lost" ]
 
 let diff ?(fail_pct = 10.) ~old_doc ~new_doc () =
   let olds = List.sort (fun (a, _) (b, _) -> metric_compare a b)

@@ -12,6 +12,9 @@ type dataset = {
   label : string;  (** experiment id, or ["trace"] for a Chrome trace *)
   spans : Critpath.ispan list;
   causal : Causal.event list;
+  slo_counters : Slo.counters;
+      (** deadline accounting parsed from the experiment's metrics
+          section; {!Slo.no_counters} when the document carries none. *)
 }
 
 val datasets_of_doc : Json.t -> dataset list
@@ -21,10 +24,12 @@ val datasets_of_doc : Json.t -> dataset list
 
 val render_analysis : dataset -> string
 (** The causal/critical-path report for one dataset: span and message
-    counts, per-subsystem self time, per-root-kind critical-path summary,
-    and the full segment listing of the slowest migration and
-    thread-group-create (whose segment durations sum exactly to the
-    root's end-to-end latency). *)
+    counts, per-subsystem self time, the worst-case & SLO block
+    ({!Slo.render}: exact worst-case latency per root kind, the worst
+    path's phase budget, deadline met/violated counters), per-root-kind
+    critical-path summary, and the full segment listing of the slowest
+    migration and thread-group-create (whose segment durations sum
+    exactly to the root's end-to-end latency). *)
 
 val analyze_doc : Json.t -> (string, string) result
 (** Full report over every dataset in the document; [Error] when the
@@ -34,10 +39,11 @@ val diff :
   ?fail_pct:float -> old_doc:Json.t -> new_doc:Json.t -> unit -> string * int
 (** Metric-by-metric comparison of two results documents (v1 or v2).
     Time metrics (name containing ["_ns"], including histogram
-    mean/p99/max projections — max so pure tail regressions gate too)
-    regress when they grow by more than [fail_pct] percent
+    mean/p99/p999/max projections — max so pure tail regressions gate
+    too, and the [slo.*.worst_case_ns] gauges so the certified bound
+    itself gates) regress when they grow by more than [fail_pct] percent
     (default 10); failure-ish counters (.failed / .dropped / .gave_up /
-    .dup_suppressed / .unclosed / doorbells_lost) regress on any
-    increase. Improvements, disappearances and new metrics are reported
+    .dup_suppressed / .unclosed / .violations / doorbells_lost) regress
+    on any increase. Improvements, disappearances and new metrics are reported
     as info. Returns the rendered report and the number of regressions;
     [host_ms] is never compared (host wall-clock is nondeterministic). *)

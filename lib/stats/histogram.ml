@@ -51,6 +51,7 @@ let percentile t p =
 
 let median t = percentile t 50.
 let p99 t = percentile t 99.
+let p999 t = percentile t 99.9
 let mean t = if t.n = 0 then 0. else t.sum /. float_of_int t.n
 
 let pp ~unit fmt t =

@@ -2,7 +2,16 @@
 
     Buckets grow geometrically (base 2 with 4 sub-buckets per octave), giving
     ~±9% relative error on percentile estimates over a huge dynamic range —
-    the usual choice for microsecond-to-second latency data. *)
+    the usual choice for microsecond-to-second latency data.
+
+    {b Error bound.} Adjacent bucket boundaries differ by a factor of
+    [2^(1/4) ≈ 1.189]; a percentile query returns the representative value
+    of the bucket containing the p-th sample, so every reported percentile
+    (p50, p99, p999, …) is within a multiplicative factor of [2^(1/8) ≈
+    1.09] — about ±9% — of a sample actually in that bucket. The bound is
+    relative, not absolute: it holds identically at 100 ns and at 10 s.
+    {!max} is exact (the largest sample is stored verbatim), which is why
+    worst-case reporting reads [max], never a percentile. *)
 
 type t
 
@@ -22,6 +31,10 @@ val percentile : t -> float -> float
 
 val median : t -> float
 val p99 : t -> float
+
+val p999 : t -> float
+(** 99.9th percentile — the deep-tail summary between {!p99} and the exact
+    {!max}; subject to the same ±9% bucket error as every percentile. *)
 
 val mean : t -> float
 

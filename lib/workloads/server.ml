@@ -6,10 +6,11 @@ type config = {
   requests : int;
   interarrival : int -> Time.t;
   cost_ns : int;
+  deadline_ns : Time.t option;
 }
 
 let steady ~requests ~gap ~cost_ns =
-  { requests; interarrival = (fun _ -> gap); cost_ns }
+  { requests; interarrival = (fun _ -> gap); cost_ns; deadline_ns = None }
 
 type stats = {
   offered : int;
@@ -17,6 +18,7 @@ type stats = {
   rejected : int;
   failed : int;
   retried : int;
+  within_deadline : int;
   latency : Stats.Histogram.t;
   elapsed : Time.t;
 }
@@ -27,11 +29,15 @@ let goodput s =
 let shed_rate s =
   if s.offered = 0 then 0. else float_of_int s.rejected /. float_of_int s.offered
 
+let goodput_within s =
+  if s.offered = 0 then 0.
+  else float_of_int s.within_deadline /. float_of_int s.offered
+
 let run cluster dispatcher config =
   let eng = Popcorn.Types.eng cluster in
   let latency = Stats.Histogram.create () in
   let completed = ref 0 and rejected = ref 0 and failed = ref 0 in
-  let retried = ref 0 in
+  let retried = ref 0 and within = ref 0 in
   let latch = Latch.create eng config.requests in
   let started = Engine.now eng in
   (* The generator never waits for outcomes: arrival [i] fires
@@ -45,12 +51,16 @@ let run cluster dispatcher config =
           (fun () ->
             let t0 = Engine.now eng in
             (match
-               Popcorn.Placement.dispatch dispatcher ~cost_ns:config.cost_ns
+               Popcorn.Placement.dispatch ?deadline:config.deadline_ns
+                 dispatcher ~cost_ns:config.cost_ns
              with
             | Popcorn.Placement.Placed { attempts; _ } ->
                 incr completed;
                 if attempts > 1 then incr retried;
                 let lat = Time.sub (Engine.now eng) t0 in
+                (match config.deadline_ns with
+                | Some d when lat <= d -> incr within
+                | Some _ | None -> ());
                 Stats.Histogram.add latency (float_of_int lat);
                 Popcorn.Types.m_observe cluster "server.latency_ns"
                   (float_of_int lat)
@@ -65,6 +75,7 @@ let run cluster dispatcher config =
     rejected = !rejected;
     failed = !failed;
     retried = !retried;
+    within_deadline = !within;
     latency;
     elapsed = Time.sub (Engine.now eng) started;
   }

@@ -19,10 +19,16 @@ type config = {
       (** gap before arrival [i] (1-based): constant for a steady rate, or
           vary by index for bursts. *)
   cost_ns : int;  (** CPU cost of serving one request. *)
+  deadline_ns : Sim.Time.t option;
+      (** optional per-request SLO: arrival-to-response budget. Passed to
+          {!Popcorn.Placement.dispatch} (which accounts
+          [slo.dispatch.met] / [slo.dispatch.violations]) and used for
+          the {!field-within_deadline} / {!goodput_within} report.
+          Accounting only — never changes scheduling. *)
 }
 
 val steady : requests:int -> gap:Sim.Time.t -> cost_ns:int -> config
-(** Constant-rate arrivals every [gap]. *)
+(** Constant-rate arrivals every [gap]; no deadline. *)
 
 type stats = {
   offered : int;  (** arrivals (= [config.requests]). *)
@@ -30,6 +36,8 @@ type stats = {
   rejected : int;  (** shed by admission control. *)
   failed : int;  (** exhausted every placement attempt. *)
   retried : int;  (** completed, but needed more than one attempt. *)
+  within_deadline : int;
+      (** completed within [deadline_ns] (0 when no deadline was set). *)
   latency : Stats.Histogram.t;
       (** arrival-to-response latency (ns) of completed requests. *)
   elapsed : Sim.Time.t;  (** first arrival to last outcome (drain included). *)
@@ -40,6 +48,11 @@ val goodput : stats -> float
 
 val shed_rate : stats -> float
 (** Rejected fraction of offered, in [0,1]. *)
+
+val goodput_within : stats -> float
+(** Fraction of offered requests that completed {e within their
+    deadline}, in [0,1] — the SLO-aware goodput. 0 when the config
+    carried no deadline. *)
 
 val run : Popcorn.Types.cluster -> Popcorn.Placement.t -> config -> stats
 (** Run the workload to completion (spawns its own fibers; call from a

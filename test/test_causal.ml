@@ -414,6 +414,46 @@ let test_json_parser_rejects_garbage () =
   | Ok _ -> ()
   | Error e -> Alcotest.failf "valid escapes rejected: %s" e
 
+(* Malformed-input edges beyond plain garbage: truncation inside every
+   construct, broken escapes, and duplicate keys (which must parse — the
+   JSON spec allows them — with first-key-wins access, never a crash). *)
+let test_json_malformed_edges () =
+  let bad s =
+    match Obs.Json.of_string s with Ok _ -> false | Error _ -> true
+  in
+  (* Truncated objects, in every spot a token can end. *)
+  Alcotest.(check bool) "cut after brace" true (bad {|{|});
+  Alcotest.(check bool) "cut after key" true (bad {|{"a"|});
+  Alcotest.(check bool) "cut after colon" true (bad {|{"a":|});
+  Alcotest.(check bool) "cut after comma" true (bad {|{"a": 1,|});
+  Alcotest.(check bool) "cut mid-nested" true (bad {|{"a": {"b": [{|});
+  Alcotest.(check bool) "comma without pair" true (bad {|{"a": 1,}|});
+  (* Broken string escapes. *)
+  Alcotest.(check bool) "unknown escape" true (bad {|{"a": "\x"}|});
+  Alcotest.(check bool) "truncated \\u" true (bad {|{"a": "\u12"}|});
+  Alcotest.(check bool) "non-hex \\u" true (bad {|{"a": "\uzzzz"}|});
+  Alcotest.(check bool) "lone backslash at end" true (bad {|{"a": "\|});
+  (* Valid escapes still parse. *)
+  (match Obs.Json.of_string {|{"a": "\n\t\\\"A"}|} with
+  | Ok (Obs.Json.Obj [ ("a", Obs.Json.Str s) ]) ->
+      Alcotest.(check string) "escapes decoded" "\n\t\\\"A" s
+  | Ok _ -> Alcotest.fail "unexpected shape"
+  | Error e -> Alcotest.failf "valid escapes rejected: %s" e);
+  (* Duplicate keys: parse succeeds, both pairs survive in order, and
+     List.assoc-based access (what every of_json in the tree uses) sees
+     the first — so a malicious/buggy producer cannot shadow a value. *)
+  match Obs.Json.of_string {|{"k": 1, "k": 2}|} with
+  | Ok (Obs.Json.Obj fields as j) ->
+      Alcotest.(check int) "both pairs kept" 2 (List.length fields);
+      (match List.assoc_opt "k" fields with
+      | Some (Obs.Json.Int v) -> Alcotest.(check int) "first key wins" 1 v
+      | _ -> Alcotest.fail "assoc lost the key");
+      Alcotest.(check string) "reserialises both, in order"
+        {|{"k":1,"k":2}|}
+        (Obs.Json.to_string j)
+  | Ok _ -> Alcotest.fail "duplicate keys parsed to a non-object"
+  | Error e -> Alcotest.failf "duplicate keys rejected: %s" e
+
 (* --- trace ring retained counter --- *)
 
 let test_trace_retained_o1 () =
@@ -489,6 +529,7 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_json_parser_roundtrip;
           Alcotest.test_case "rejects garbage" `Quick
             test_json_parser_rejects_garbage;
+          Alcotest.test_case "malformed edges" `Quick test_json_malformed_edges;
         ] );
       ( "satellites",
         [

@@ -29,7 +29,21 @@ let test_metrics_basics () =
     (try
        ignore (Obs.Metrics.counter m "g");
        false
-     with Invalid_argument _ -> true)
+     with Invalid_argument _ -> true);
+  (* Exported histograms carry the full percentile ladder, p999
+     included, and the view keeps it between p99 and the exact max. *)
+  (match List.assoc ("h", None) (Obs.Metrics.rows m) with
+  | Obs.Metrics.Hist { p99; p999; max; _ } ->
+      Alcotest.(check bool) "p99 <= p999 <= max-with-bucket-error" true
+        (p99 <= p999 && p999 <= max *. 1.1)
+  | _ -> Alcotest.fail "expected a histogram view");
+  let json = Obs.Json.to_string (Obs.Metrics.to_json m) in
+  let has_sub sub s =
+    let n = String.length s and q = String.length sub in
+    let rec go i = i + q <= n && (String.sub s i q = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "json carries p999" true (has_sub "\"p999\"" json)
 
 let test_metrics_rows_deterministic () =
   (* Same metrics touched in two different orders: rows and JSON must be

@@ -33,12 +33,17 @@ let test_histogram_percentiles () =
   (* Log-bucketed: ±10% relative accuracy is the contract. *)
   Alcotest.(check bool) "p50 near 500" true (p50 > 400. && p50 < 600.);
   Alcotest.(check bool) "p99 near 990" true (p99 > 850. && p99 < 1100.);
-  Alcotest.(check bool) "ordered" true (p50 <= p99);
+  let p999 = Stats.Histogram.p999 h in
+  Alcotest.(check bool) "p999 near 999" true (p999 > 890. && p999 < 1110.);
+  Alcotest.(check bool) "ordered" true (p50 <= p99 && p99 <= p999);
+  Alcotest.(check bool) "p999 bounded by exact max" true
+    (p999 <= Stats.Histogram.max h *. 1.1);
   Alcotest.(check (float 1.)) "mean" 500.5 (Stats.Histogram.mean h)
 
 let test_histogram_empty () =
   let h = Stats.Histogram.create () in
   Alcotest.(check (float 0.)) "empty p99" 0. (Stats.Histogram.p99 h);
+  Alcotest.(check (float 0.)) "empty p999" 0. (Stats.Histogram.p999 h);
   Alcotest.(check (float 0.)) "empty mean" 0. (Stats.Histogram.mean h);
   Alcotest.(check (float 0.)) "empty max" 0. (Stats.Histogram.max h);
   Alcotest.(check int) "empty count" 0 (Stats.Histogram.count h)
