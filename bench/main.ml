@@ -11,7 +11,7 @@
 let usage () =
   print_endline
     "usage: main.exe [--exp T1|T2|F1|..|F6] [--quick] [--bechamel] [--list] \
-     [--jobs N] [--seed N] [--json FILE]";
+     [--jobs N] [--seed N] [--evq heap|calendar] [--json FILE]";
   exit 1
 
 (* One Bechamel Test.make per table/figure; measures wall-clock time of a
@@ -89,15 +89,27 @@ let () =
     let seed =
       Option.value (int_arg "--seed") ~default:Experiments.Run_ctx.default_seed
     in
+    let evq =
+      match keyed "--evq" args with
+      | None -> Sim.Evq.Heap
+      | Some s -> (
+          match Sim.Evq.impl_of_string s with
+          | Some i -> i
+          | None ->
+              Printf.eprintf "--evq expects heap or calendar, got %s\n" s;
+              usage ())
+    in
     (* Observability is on iff the results are being exported; plain table
        runs stay instrumentation-free. *)
     let observe = json_path <> None in
     let outcomes =
       match keyed "--exp" args with
-      | None -> Experiments.Registry.run_all ~quick ~observe ~seed ?jobs ()
+      | None ->
+          Experiments.Registry.run_all ~quick ~observe ~seed ~evq ?jobs ()
       | Some id -> (
           match Experiments.Registry.find id with
-          | Some e -> [ Experiments.Registry.run_one ~quick ~observe ~seed e ]
+          | Some e ->
+              [ Experiments.Registry.run_one ~quick ~observe ~seed ~evq e ]
           | None ->
               Printf.eprintf "unknown experiment id: %s\n" id;
               usage ())
@@ -105,6 +117,8 @@ let () =
     List.iter
       (fun (o : Experiments.Registry.outcome) -> print_string o.output)
       outcomes;
+    print_newline ();
+    print_endline (Experiments.Registry.render_suite_total outcomes);
     flush stdout;
     match json_path with
     | None -> ()

@@ -124,11 +124,28 @@ let render_mev_s ~events ~host_ms =
   | Some r -> Printf.sprintf "%.2f Mev/s" (r /. 1e6)
   | None -> "n/a Mev/s"
 
+(** Suite-level engine throughput: total events over total host time,
+    across a list of outcomes. This is the headline number the CLI `all`
+    command prints and the microbench/PRs quote — a single aggregate is
+    far less noisy than per-experiment rates (several experiments finish
+    under a millisecond in --quick). Host-time-derived, so informational
+    only: never part of determinism digests or diff gating. *)
+let suite_totals (outcomes : outcome list) =
+  List.fold_left
+    (fun (ms, ev) o -> (ms +. o.host_ms, ev + o.events_processed))
+    (0., 0) outcomes
+
+let render_suite_total (outcomes : outcome list) =
+  let host_ms, events = suite_totals outcomes in
+  Printf.sprintf "== suite total: %.0f ms host time, %d events, %s ==" host_ms
+    events
+    (render_mev_s ~events ~host_ms)
+
 let run_one ?(quick = false) ?(observe = false) ?(profile = false) ?seed
-    ?coherence (e : t) : outcome =
+    ?coherence ?evq (e : t) : outcome =
   let sink = if observe then Some (Obs.Sink.create ()) else None in
   let prof = if profile then Some (Obs.Prof.create ()) else None in
-  let ctx = Run_ctx.create ?sink ?prof ?seed ?coherence ~quick () in
+  let ctx = Run_ctx.create ?sink ?prof ?seed ?coherence ?evq ~quick () in
   let t0 = Unix.gettimeofday () in
   let tables = e.run ctx in
   let host_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
@@ -199,14 +216,17 @@ let run_one ?(quick = false) ?(observe = false) ?(profile = false) ?seed
     experiment durations vary by an order of magnitude. *)
 let default_jobs () = Domain.recommended_domain_count ()
 
-let run_all ?quick ?observe ?profile ?seed ?coherence ?jobs () : outcome list =
+let run_all ?quick ?observe ?profile ?seed ?coherence ?evq ?jobs () :
+    outcome list =
   let specs = Array.of_list all in
   let n = Array.length specs in
   let jobs =
     max 1 (min n (match jobs with Some j -> j | None -> default_jobs ()))
   in
   if jobs = 1 then
-    List.map (fun e -> run_one ?quick ?observe ?profile ?seed ?coherence e) all
+    List.map
+      (fun e -> run_one ?quick ?observe ?profile ?seed ?coherence ?evq e)
+      all
   else begin
     let results = Array.make n None in
     let next = Atomic.make 0 in
@@ -215,7 +235,9 @@ let run_all ?quick ?observe ?profile ?seed ?coherence ?jobs () : outcome list =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
           results.(i) <-
-            Some (run_one ?quick ?observe ?profile ?seed ?coherence specs.(i));
+            Some
+              (run_one ?quick ?observe ?profile ?seed ?coherence ?evq
+                 specs.(i));
           loop ()
         end
       in
@@ -289,9 +311,23 @@ let outcome_json ?(metrics_only = false) (o : outcome) =
 let report_json ?(quick = false) ?(metrics_only = false)
     (outcomes : outcome list) =
   Obs.Json.Obj
-    [
-      ("schema", Obs.Json.Str "popcornsim-bench-v2");
-      ("quick", Obs.Json.Bool quick);
-      ( "experiments",
-        Obs.Json.Arr (List.map (outcome_json ~metrics_only) outcomes) );
-    ]
+    ([ ("schema", Obs.Json.Str "popcornsim-bench-v2");
+       ("quick", Obs.Json.Bool quick) ]
+    @ (* Suite-level throughput header: informational (host-time-derived)
+         and therefore excluded from the [metrics_only] baseline documents
+         that `popcornsim diff` gates on. *)
+    (if metrics_only then []
+     else
+       let host_ms, events = suite_totals outcomes in
+       [
+         ("suite_host_ms", Obs.Json.Float host_ms);
+         ("suite_events_processed", Obs.Json.Int events);
+         ( "suite_events_per_sec",
+           match events_per_sec ~events ~host_ms with
+           | Some r -> Obs.Json.Float r
+           | None -> Obs.Json.Null );
+       ])
+    @ [
+        ( "experiments",
+          Obs.Json.Arr (List.map (outcome_json ~metrics_only) outcomes) );
+      ])

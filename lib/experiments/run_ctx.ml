@@ -22,6 +22,10 @@ type t = {
       (** Page-coherence protocol every Popcorn cluster of the run boots
           with (the CLI [--coherence] flag), unless an experiment pins its
           own options explicitly. *)
+  evq : Sim.Evq.impl;
+      (** Event-queue implementation every machine of the run boots with
+          (the CLI [--evq] flag). Runs are bit-identical under either; the
+          cross-implementation equivalence test and CI gate enforce it. *)
   prof : Obs.Prof.t option;
       (** When set (the [popcornsim profile] path), every machine the run
           boots gets the profiler attached as its engine observer, so host
@@ -42,8 +46,17 @@ type t = {
 let default_seed = 42
 
 let create ?sink ?prof ?(seed = default_seed) ?(quick = false)
-    ?(coherence = Coherence.Protocol.Origin_home) () =
-  { sink; seed; quick; coherence; prof; out = Buffer.create 1024; engines = [] }
+    ?(coherence = Coherence.Protocol.Origin_home) ?(evq = Sim.Evq.Heap) () =
+  {
+    sink;
+    seed;
+    quick;
+    coherence;
+    evq;
+    prof;
+    out = Buffer.create 1024;
+    engines = [];
+  }
 
 let printf t fmt = Printf.ksprintf (Buffer.add_string t.out) fmt
 let output t = Buffer.contents t.out

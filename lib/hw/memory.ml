@@ -1,9 +1,19 @@
 type frame = int
 
+(* Free frames are represented lazily: a per-socket bump cursor over the
+   never-yet-allocated range plus a stack of explicitly freed frames.
+   Materializing every frame id up front (the old eager per-socket stack)
+   allocated frames_per_socket x sockets cons cells — several MB of
+   short-lived garbage per machine boot, paid again for every data point
+   that boots a fresh machine. Allocation order is unchanged: freed frames
+   are LIFO and always preferred (in the eager stack they sat above the
+   untouched range), then pristine frames ascend — exactly the order the
+   eager stack popped. *)
 type t = {
   topo : Topology.t;
   frames_per_socket : int;
-  free_lists : frame Stack.t array; (* one per socket *)
+  next : int array; (* per-socket: first never-allocated frame offset *)
+  freed : frame Stack.t array; (* one per socket: explicitly freed frames *)
   allocated : Bytes.t; (* 1 byte per frame: 0 free, 1 used *)
   mutable used : int;
 }
@@ -11,17 +21,11 @@ type t = {
 let create topo ~frames_per_socket =
   assert (frames_per_socket > 0);
   let sockets = Topology.sockets topo in
-  let free_lists = Array.init sockets (fun _ -> Stack.create ()) in
-  for s = sockets - 1 downto 0 do
-    (* Push descending so frames pop in ascending order. *)
-    for i = frames_per_socket - 1 downto 0 do
-      Stack.push ((s * frames_per_socket) + i) free_lists.(s)
-    done
-  done;
   {
     topo;
     frames_per_socket;
-    free_lists;
+    next = Array.make sockets 0;
+    freed = Array.init sockets (fun _ -> Stack.create ());
     allocated = Bytes.make (sockets * frames_per_socket) '\000';
     used = 0;
   }
@@ -30,12 +34,23 @@ let frames_per_socket t = t.frames_per_socket
 let total_frames t = Topology.sockets t.topo * t.frames_per_socket
 
 let take t node =
-  match Stack.pop_opt t.free_lists.(node) with
-  | None -> None
-  | Some f ->
-      Bytes.set t.allocated f '\001';
-      t.used <- t.used + 1;
-      Some f
+  let f =
+    match Stack.pop_opt t.freed.(node) with
+    | Some f -> f
+    | None ->
+        let n = t.next.(node) in
+        if n >= t.frames_per_socket then -1
+        else begin
+          t.next.(node) <- n + 1;
+          (node * t.frames_per_socket) + n
+        end
+  in
+  if f < 0 then None
+  else begin
+    Bytes.set t.allocated f '\001';
+    t.used <- t.used + 1;
+    Some f
+  end
 
 let alloc t ~node =
   assert (node >= 0 && node < Topology.sockets t.topo);
@@ -66,7 +81,7 @@ let free t f =
     invalid_arg "Memory.free: double free";
   Bytes.set t.allocated f '\000';
   t.used <- t.used - 1;
-  Stack.push f t.free_lists.(node_of_frame t f)
+  Stack.push f t.freed.(node_of_frame t f)
 
 let used_count t = t.used
 let free_count t = total_frames t - t.used

@@ -39,9 +39,20 @@ type 'a endpoint = {
   node : node;
   core : Hw.Topology.core;
   inbox : 'a packet Channel.t;
-  last_seq : (node, int) Hashtbl.t;
-      (** per-source highest delivered sequence number; rings are FIFO per
+  handler_label : Sim.Engine.label;
+      (** interned ["msg-handler-n<node>"] label, built once at [add_node]:
+          the worker spawns one handler fiber per delivered message, and
+          formatting + interning that name per message was the single
+          largest allocation on the delivery path. *)
+  mutable last_seq : int array;
+      (** per-source highest delivered sequence number, indexed by source
+          node (grown on demand; 0 = nothing delivered); rings are FIFO per
           link, so a packet at or below it is a duplicate. *)
+  mutable tx_seq : int array;
+      (** last sent sequence number per destination node, indexed by
+          destination (grown on demand): the sender-side twin of
+          [last_seq]. Sends from a node without an endpoint fall back to
+          the transport-level table. *)
   mutable worker_idle : bool;
   mutable em : (Obs.Metrics.t * ep_metrics) option;
       (** handles + the registry they were resolved against (observability
@@ -86,7 +97,10 @@ type 'a t = {
   ring_slots : int;
   handler : 'a t -> dst:node -> src:node -> delivery -> 'a -> unit;
   endpoints : (node, 'a endpoint) Hashtbl.t;
-  seq_tx : (node * node, int) Hashtbl.t;  (** (src,dst) -> last sent seq. *)
+  seq_tx : (node * node, int) Hashtbl.t;
+      (** (src,dst) -> last sent seq, for sources {e without} an endpoint
+          ([send_from_core] is public); endpoint sources use their
+          [tx_seq] array instead. *)
   mutable next_msg_id : int;
   mutable hooks : hooks option;
   mutable st_sent : int;
@@ -183,10 +197,7 @@ let receive_cost t ep (pkt : 'a packet) =
 let worker_loop t ep =
   let m = t.machine in
   let eng = m.Hw.Machine.eng in
-  let rec loop () =
-    ep.worker_idle <- true;
-    let pkt = Channel.recv ep.inbox in
-    ep.worker_idle <- false;
+  let process (pkt : 'a packet) =
     (* A doorbell wake-up: the IPI takes this long to reach us. *)
     Engine.sleep eng pkt.doorbell;
     (* Injected per-message delivery latency. *)
@@ -207,15 +218,19 @@ let worker_loop t ep =
        number does not advance the per-source high-water mark has already
        been delivered (a retransmission or an injected duplicate). *)
     let last =
-      Option.value ~default:0 (Hashtbl.find_opt ep.last_seq pkt.src)
+      if pkt.src < Array.length ep.last_seq then ep.last_seq.(pkt.src) else 0
     in
     if pkt.seq <= last then begin
       t.st_dup_suppressed <- t.st_dup_suppressed + 1;
-      ep_incr t ep (fun h -> h.em_dup_suppressed);
-      loop ()
+      ep_incr t ep (fun h -> h.em_dup_suppressed)
     end
     else begin
-      Hashtbl.replace ep.last_seq pkt.src pkt.seq;
+      if pkt.src >= Array.length ep.last_seq then begin
+        let a = Array.make (max 16 (2 * (pkt.src + 1))) 0 in
+        Array.blit ep.last_seq 0 a 0 (Array.length ep.last_seq);
+        ep.last_seq <- a
+      end;
+      ep.last_seq.(pkt.src) <- pkt.seq;
       t.st_delivered <- t.st_delivered + 1;
       let latency = Time.sub (Engine.now eng) pkt.enqueued_at in
       t.st_latency <- Time.add t.st_latency latency;
@@ -227,36 +242,77 @@ let worker_loop t ep =
       Hw.Machine.causal_deliver m ~id:pkt.msg_id ~dst:ep.node;
       let src = pkt.src and payload = pkt.payload in
       let d = { msg_id = pkt.msg_id; from_span = pkt.from_span } in
-      (* Fresh fiber per message: handlers may block on nested RPCs. *)
-      Engine.spawn eng ~tag:"msg" ~name:(Printf.sprintf "msg-handler-n%d" ep.node)
-        (fun () -> t.handler t ~dst:ep.node ~src d payload);
-      loop ()
+      (* Fresh fiber per message: handlers may block on nested RPCs. The
+         label was interned once at [add_node] — no per-message name
+         formatting or hashing. *)
+      Engine.spawn_label eng ep.handler_label (fun () ->
+          t.handler t ~dst:ep.node ~src d payload)
     end
+  in
+  let rec loop () =
+    ep.worker_idle <- true;
+    (* Drain every packet already rung into the inbox and process the
+       burst in FIFO order. The drain is slot-accurate: packets after the
+       first keep their ring slot reserved until [release_slot] frees it
+       at the instant their item-at-a-time [recv] would have run, so
+       sender backpressure, doorbell accounting and every latency are
+       bit-identical to the unbatched loop. *)
+    match Channel.recv_batch ep.inbox with
+    | [] -> assert false
+    | first :: rest ->
+        ep.worker_idle <- false;
+        process first;
+        List.iter
+          (fun pkt ->
+            Channel.release_slot ep.inbox;
+            process pkt)
+          rest;
+        loop ()
   in
   loop ()
 
 let add_node t node ~home_core =
   if Hashtbl.mem t.endpoints node then
     invalid_arg (Printf.sprintf "Transport.add_node: duplicate node %d" node);
+  let eng = t.machine.Hw.Machine.eng in
   let ep =
     {
       node;
       core = home_core;
-      inbox = Channel.create t.machine.Hw.Machine.eng ~capacity:t.ring_slots;
-      last_seq = Hashtbl.create 16;
+      inbox = Channel.create eng ~capacity:t.ring_slots;
+      handler_label =
+        Engine.label eng ~tag:"msg" (Printf.sprintf "msg-handler-n%d" node);
+      last_seq = [||];
+      tx_seq = [||];
       worker_idle = true;
       em = None;
     }
   in
   Hashtbl.add t.endpoints node ep;
-  Engine.spawn t.machine.Hw.Machine.eng ~tag:"msg"
+  Engine.spawn eng ~tag:"msg"
     ~name:(Printf.sprintf "msg-worker-n%d" node)
     (fun () -> worker_loop t ep)
 
-let next_seq t ~src ~dst =
-  let seq = 1 + Option.value ~default:0 (Hashtbl.find_opt t.seq_tx (src, dst)) in
-  Hashtbl.replace t.seq_tx (src, dst) seq;
-  seq
+(* Per-destination tx sequence, from the source endpoint's flat array when
+   there is one (the hot path: no tuple key, no hashing), else the
+   transport-level table. *)
+let next_seq t ~src_ep ~src ~dst =
+  match src_ep with
+  | Some ep ->
+      if dst >= Array.length ep.tx_seq then begin
+        let a = Array.make (max 16 (2 * (dst + 1))) 0 in
+        Array.blit ep.tx_seq 0 a 0 (Array.length ep.tx_seq);
+        ep.tx_seq <- a
+      end;
+      let seq = ep.tx_seq.(dst) + 1 in
+      ep.tx_seq.(dst) <- seq;
+      seq
+  | None ->
+      let seq =
+        1 + Option.value ~default:0 (Hashtbl.find_opt t.seq_tx (src, dst))
+      in
+      Hashtbl.replace t.seq_tx (src, dst) seq;
+      seq
 
 (* Ring write + (conditional) doorbell for one packet copy. *)
 let enqueue t ep ~src ~src_core ~bytes ~seq ~msg_id ~from_span ~extra_delay
@@ -327,7 +383,7 @@ let send_from_core t ?from_span ~src ~src_core ~dst ~bytes payload =
   | None ->
       Hw.Machine.metric_incr m ~kernel:src "msg.sent";
       Hw.Machine.metric_add m ~kernel:src "msg.bytes" bytes);
-  let seq = next_seq t ~src ~dst in
+  let seq = next_seq t ~src_ep ~src ~dst in
   let msg_id = t.next_msg_id in
   t.next_msg_id <- msg_id + 1;
   (* The send event fires even for messages the fault plan then drops: a

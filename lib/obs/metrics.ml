@@ -1,13 +1,25 @@
-(* Cells are keyed by (name, kernel scope). A Hashtbl gives O(1) updates on
-   the hot paths; all read-out goes through [rows], which sorts, so consumers
-   see one deterministic order regardless of update interleaving. *)
+(* Cells are keyed by (name, kernel scope). Names are interned into dense
+   ids ([Names]); per name, cells live in a slot holding the unscoped cell
+   plus a kernel-indexed array — so an update through the by-name API is
+   one string-hash (the intern) and two array reads, and an update through
+   a pre-resolved handle touches no hash at all. All read-out goes through
+   [rows], which reconstructs (name, kernel) keys and sorts, so consumers
+   see exactly the same deterministic order (and byte-identical JSON) as
+   the original hashtable-of-(string * int option) implementation. *)
 
 type cell =
   | CCounter of int ref
   | CGauge of float ref
   | CHist of Stats.Histogram.t
 
-type t = { cells : (string * int option, cell) Hashtbl.t }
+(** All cells of one name: the global (unscoped) cell and the per-kernel
+    cells, indexed by kernel id (dense small ints in every model). *)
+type slot = {
+  mutable s_global : cell option;
+  mutable s_kernels : cell option array;
+}
+
+type t = { names : Names.t; mutable slots : slot option array }
 
 type view =
   | Counter of int
@@ -21,21 +33,70 @@ type view =
       max : float;
     }
 
-let create () = { cells = Hashtbl.create 64 }
+let create () = { names = Names.create (); slots = [||] }
 
 let kind_name = function
   | CCounter _ -> "counter"
   | CGauge _ -> "gauge"
   | CHist _ -> "histogram"
 
-let cell t ~kernel name make =
-  let key = (name, kernel) in
-  match Hashtbl.find_opt t.cells key with
-  | Some c -> c
+let slot t id =
+  if id >= Array.length t.slots then begin
+    let a = Array.make (max 16 (2 * (id + 1))) None in
+    Array.blit t.slots 0 a 0 (Array.length t.slots);
+    t.slots <- a
+  end;
+  match t.slots.(id) with
+  | Some s -> s
   | None ->
-      let c = make () in
-      Hashtbl.add t.cells key c;
-      c
+      let s = { s_global = None; s_kernels = [||] } in
+      t.slots.(id) <- Some s;
+      s
+
+(* Read-only probe: never mints a name id, a slot or a cell. *)
+let find_cell t ~kernel name =
+  match Names.find t.names name with
+  | None -> None
+  | Some id -> (
+      if id >= Array.length t.slots then None
+      else
+        match t.slots.(id) with
+        | None -> None
+        | Some s -> (
+            match kernel with
+            | None -> s.s_global
+            | Some k ->
+                if k >= 0 && k < Array.length s.s_kernels then
+                  s.s_kernels.(k)
+                else None))
+
+let cell_in_slot s ~kernel name make =
+  match kernel with
+  | None -> (
+      match s.s_global with
+      | Some c -> c
+      | None ->
+          let c = make () in
+          s.s_global <- Some c;
+          c)
+  | Some k -> (
+      if k < 0 then
+        invalid_arg
+          (Printf.sprintf "Metrics: negative kernel scope %d for %s" k name);
+      if k >= Array.length s.s_kernels then begin
+        let a = Array.make (max 16 (2 * (k + 1))) None in
+        Array.blit s.s_kernels 0 a 0 (Array.length s.s_kernels);
+        s.s_kernels <- a
+      end;
+      match s.s_kernels.(k) with
+      | Some c -> c
+      | None ->
+          let c = make () in
+          s.s_kernels.(k) <- Some c;
+          c)
+
+let cell t ~kernel name make =
+  cell_in_slot (slot t (Names.intern t.names name)) ~kernel name make
 
 let wrong_kind name c want =
   invalid_arg
@@ -59,15 +120,16 @@ let observe t ?kernel name x =
   | c -> wrong_kind name c "histogram"
 
 (* Pre-resolved handles. Updating through one is a single option check +
-   mutation — no (name, kernel) hashtable probe, no string hashing. The
-   underlying cell is materialized on the first update, not at resolution:
-   a handle that is resolved but never updated leaves the registry (and
-   every metrics export) exactly as if it never existed, so callers can
-   resolve a full bundle of handles up front without minting zero-valued
-   cells. Once materialized, a cell is never removed, so the cached ref
-   stays valid for the registry's lifetime. *)
+   mutation — no name hashing at all. The name is interned at resolution
+   (ids without cells never reach an export), but the underlying cell is
+   materialized on the first update: a handle that is resolved but never
+   updated leaves the registry (and every metrics export) exactly as if it
+   never existed, so callers can resolve a full bundle of handles up front
+   without minting zero-valued cells. Once materialized, a cell is never
+   removed, so the cached ref stays valid for the registry's lifetime. *)
 type counter_handle = {
   ch_reg : t;
+  ch_id : int;
   ch_name : string;
   ch_kernel : int option;
   mutable ch_cell : int ref option;
@@ -75,6 +137,7 @@ type counter_handle = {
 
 type hist_handle = {
   hh_reg : t;
+  hh_id : int;
   hh_name : string;
   hh_kernel : int option;
   mutable hh_cell : Stats.Histogram.t option;
@@ -83,24 +146,38 @@ type hist_handle = {
 let counter_handle t ?kernel name =
   (* Kind mismatch with an existing cell surfaces here; a fresh name is
      only checked on first update (when the cell is created). *)
-  (match Hashtbl.find_opt t.cells (name, kernel) with
+  (match find_cell t ~kernel name with
   | None | Some (CCounter _) -> ()
   | Some c -> wrong_kind name c "counter");
-  { ch_reg = t; ch_name = name; ch_kernel = kernel; ch_cell = None }
+  {
+    ch_reg = t;
+    ch_id = Names.intern t.names name;
+    ch_name = name;
+    ch_kernel = kernel;
+    ch_cell = None;
+  }
 
 let hist_handle t ?kernel name =
-  (match Hashtbl.find_opt t.cells (name, kernel) with
+  (match find_cell t ~kernel name with
   | None | Some (CHist _) -> ()
   | Some c -> wrong_kind name c "histogram");
-  { hh_reg = t; hh_name = name; hh_kernel = kernel; hh_cell = None }
+  {
+    hh_reg = t;
+    hh_id = Names.intern t.names name;
+    hh_name = name;
+    hh_kernel = kernel;
+    hh_cell = None;
+  }
 
 let handle_add h n =
   match h.ch_cell with
   | Some r -> r := !r + n
   | None -> (
       match
-        cell h.ch_reg ~kernel:h.ch_kernel h.ch_name (fun () ->
-            CCounter (ref 0))
+        cell_in_slot
+          (slot h.ch_reg h.ch_id)
+          ~kernel:h.ch_kernel h.ch_name
+          (fun () -> CCounter (ref 0))
       with
       | CCounter r ->
           h.ch_cell <- Some r;
@@ -114,8 +191,10 @@ let handle_observe h x =
   | Some hist -> Stats.Histogram.add hist x
   | None -> (
       match
-        cell h.hh_reg ~kernel:h.hh_kernel h.hh_name (fun () ->
-            CHist (Stats.Histogram.create ()))
+        cell_in_slot
+          (slot h.hh_reg h.hh_id)
+          ~kernel:h.hh_kernel h.hh_name
+          (fun () -> CHist (Stats.Histogram.create ()))
       with
       | CHist hist ->
           h.hh_cell <- Some hist;
@@ -123,13 +202,13 @@ let handle_observe h x =
       | c -> wrong_kind h.hh_name c "histogram")
 
 let counter t ?kernel name =
-  match Hashtbl.find_opt t.cells (name, kernel) with
+  match find_cell t ~kernel name with
   | Some (CCounter r) -> !r
   | Some c -> wrong_kind name c "counter"
   | None -> 0
 
 let gauge t ?kernel name =
-  match Hashtbl.find_opt t.cells (name, kernel) with
+  match find_cell t ~kernel name with
   | Some (CGauge r) -> !r
   | Some c -> wrong_kind name c "gauge"
   | None -> 0.
@@ -149,10 +228,28 @@ let view = function
         }
 
 (* (name, kernel) ascending, with the unscoped (global) entry of a name
-   before its per-kernel entries — [None < Some _] under compare. *)
+   before its per-kernel entries — [None < Some _] under compare. The
+   (name, kernel) keys are reconstructed from the interned store, so the
+   result (and every export below) is indistinguishable from the original
+   string-keyed implementation. *)
 let rows t =
-  Hashtbl.fold (fun key c acc -> ((key, view c) :: acc)) t.cells []
-  |> List.sort (fun (ka, _) (kb, _) -> compare ka kb)
+  let acc = ref [] in
+  for id = Array.length t.slots - 1 downto 0 do
+    match t.slots.(id) with
+    | None -> ()
+    | Some s ->
+        let name = Names.to_string t.names id in
+        Array.iteri
+          (fun k c ->
+            match c with
+            | None -> ()
+            | Some c -> acc := ((name, Some k), view c) :: !acc)
+          s.s_kernels;
+        (match s.s_global with
+        | None -> ()
+        | Some c -> acc := ((name, None), view c) :: !acc)
+  done;
+  List.sort (fun (ka, _) (kb, _) -> compare ka kb) !acc
 
 (* Exported JSON must be byte-stable regardless of the order metrics were
    first touched: the parallel suite runner serializes one sink per

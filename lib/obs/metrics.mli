@@ -4,10 +4,12 @@
     A registry is attached to a machine ([Hw.Machine.attach_obs]); the
     messaging layer and the OS models bump metrics only when one is
     attached, so runs without observability pay a single [option] check per
-    event and produce bit-identical simulated results. Updates are O(1);
-    all read-out ({!rows}, {!to_json}, {!pp}) is sorted by (name, kernel),
-    so the output order is deterministic regardless of the order in which
-    metrics were first touched. *)
+    event and produce bit-identical simulated results. Updates are O(1) —
+    names are interned ({!Names}) and cells live in arrays indexed by name
+    id and kernel id, so the by-name API hashes one string and a handle
+    update hashes nothing; all read-out ({!rows}, {!to_json}, {!pp}) is
+    sorted by (name, kernel), so the output order is deterministic
+    regardless of the order in which metrics were first touched. *)
 
 type t
 

@@ -1,0 +1,30 @@
+(* String interner: dense int ids for metric/span/label names, so hot paths
+   key arrays by id instead of hashing strings. Per-instance (never global):
+   experiment runs execute on parallel domains, each with its own registry. *)
+
+type t = {
+  tbl : (string, int) Hashtbl.t;
+  mutable arr : string array;
+  mutable n : int;
+}
+
+let create ?(size = 64) () = { tbl = Hashtbl.create size; arr = [||]; n = 0 }
+
+let intern t s =
+  match Hashtbl.find_opt t.tbl s with
+  | Some id -> id
+  | None ->
+      let id = t.n in
+      if id = Array.length t.arr then begin
+        let a = Array.make (max 16 (2 * id)) "" in
+        Array.blit t.arr 0 a 0 id;
+        t.arr <- a
+      end;
+      t.arr.(id) <- s;
+      t.n <- id + 1;
+      Hashtbl.add t.tbl s id;
+      id
+
+let find t s = Hashtbl.find_opt t.tbl s
+let to_string t id = t.arr.(id)
+let count t = t.n

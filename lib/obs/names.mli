@@ -1,0 +1,18 @@
+(** String interner: dense int ids for names on observability hot paths.
+
+    {!intern} returns a stable id for a string (minting the next dense id
+    on first sight); {!find} looks one up without minting — the read-side
+    counterpart, so pure readers never grow the table. Ids index plain
+    arrays ({!count} bounds them, {!to_string} inverts them).
+
+    Instances are not thread-safe and deliberately per-registry/per-run:
+    the experiment suite runs on parallel domains, so a global interner
+    would be both a race and a determinism hazard. *)
+
+type t
+
+val create : ?size:int -> unit -> t
+val intern : t -> string -> int
+val find : t -> string -> int option
+val to_string : t -> int -> string
+val count : t -> int

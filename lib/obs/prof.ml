@@ -56,9 +56,11 @@ let max_samples = 4096
 
 type t = {
   labels : (string * string option, stat) Hashtbl.t;
-  (* Normalization cache: raw name -> normalized, so the hot path does one
-     hashtable probe instead of a fresh string per event. *)
-  norm : (string, string) Hashtbl.t;
+  (* Per-boot cache: engine label id -> stat. Engine labels are dense ints
+     minted per engine, so after the first event of each distinct label the
+     hot path is one array read — no string normalization, no hashing.
+     Reset on [attach]: a fresh engine is a fresh id space. *)
+  mutable by_label : stat option array;
   mutable boots : int;
   mutable total_events : int;
   mutable sched_ns : int;
@@ -80,7 +82,7 @@ type t = {
 let create ?(sample_every = Sim.Time.us 100) () =
   {
     labels = Hashtbl.create 64;
-    norm = Hashtbl.create 64;
+    by_label = [||];
     boots = 0;
     total_events = 0;
     sched_ns = 0;
@@ -96,15 +98,7 @@ let create ?(sample_every = Sim.Time.us 100) () =
   }
 
 let stat t ~name ~tag =
-  let name =
-    match Hashtbl.find_opt t.norm name with
-    | Some n -> n
-    | None ->
-        let n = normalize name in
-        Hashtbl.add t.norm name n;
-        n
-  in
-  let key = (name, tag) in
+  let key = (normalize name, tag) in
   match Hashtbl.find_opt t.labels key with
   | Some s -> s
   | None ->
@@ -112,6 +106,28 @@ let stat t ~name ~tag =
         { st_events = 0; st_self_ns = 0; st_minor = 0.; st_major = 0. }
       in
       Hashtbl.add t.labels key s;
+      s
+
+(* Cold path: first event of a label this boot. Resolve the engine's label
+   id to its (name, tag), normalize, and cache the accumulator cell so
+   every later event of this label is an array read. *)
+let resolve t eng (lbl : Sim.Engine.label) =
+  let n = (lbl :> int) in
+  if n >= Array.length t.by_label then begin
+    let ncap = max 64 (2 * (n + 1)) in
+    let a = Array.make ncap None in
+    Array.blit t.by_label 0 a 0 (Array.length t.by_label);
+    t.by_label <- a
+  end;
+  match t.by_label.(n) with
+  | Some s -> s
+  | None ->
+      let s =
+        stat t
+          ~name:(Sim.Engine.label_name eng lbl)
+          ~tag:(Sim.Engine.label_tag eng lbl)
+      in
+      t.by_label.(n) <- Some s;
       s
 
 (* Thin the sample buffer in place of failing on long runs: drop every
@@ -157,12 +173,20 @@ let observer t eng : Sim.Engine.observer =
            event is scheduler work too. *)
         t.last_end <- clock ());
     on_event =
-      (fun ~name ~tag ~now ->
+      (fun ~label ~now ->
         let c = clock () in
         if t.last_end >= 0 then t.sched_ns <- t.sched_ns + (c - t.last_end);
         if now >= t.next_sample then take_sample t eng ~now;
         let minor, _promoted, major = Gc.counters () in
-        t.cur <- Some (stat t ~name ~tag);
+        let n = (label :> int) in
+        let s =
+          if n < Array.length t.by_label then
+            match Array.unsafe_get t.by_label n with
+            | Some s -> s
+            | None -> resolve t eng label
+          else resolve t eng label
+        in
+        t.cur <- Some s;
         t.t0 <- c;
         t.minor0 <- minor;
         t.major0 <- major);
@@ -192,6 +216,9 @@ let observer t eng : Sim.Engine.observer =
 let attach t eng =
   t.boots <- t.boots + 1;
   t.next_sample <- 0;
+  (* Fresh engine, fresh label-id space: drop the per-boot cache (the
+     accumulated per-name stats in [labels] survive across boots). *)
+  t.by_label <- [||];
   Sim.Engine.set_observer eng (Some (observer t eng))
 
 let detach eng = Sim.Engine.set_observer eng None

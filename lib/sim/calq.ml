@@ -1,0 +1,158 @@
+(* Calendar queue: a bucketed event scheduler with O(1) amortized push and
+   pop for events landing inside the current time window, falling back to
+   binary heaps for the fully-ordered near band ([front]) and for far-future
+   timers ([far]).
+
+   Invariant map of the timeline, left to right:
+
+     [front]           [buckets cur..nbuckets-1]          [far]
+     all at < front_end | width-sized unsorted bins      | at >= horizon
+     (fully ordered)    | covering [front_end, horizon)  | (heap-ordered)
+
+   Every event keeps its original [(at, seq)] key; moving a bucket's
+   unsorted cells into the [front] heap restores the exact total order, so
+   the pop sequence is bit-identical to a single binary heap. *)
+
+type 'a cell = { at : Time.t; seq : int; v : 'a }
+
+let nbuckets = 256
+
+type 'a t = {
+  front : 'a Eheap.t;  (** ordered band: every queued at < [front_end] *)
+  far : 'a Eheap.t;  (** overflow band: every queued at >= [horizon] *)
+  buckets : 'a cell list array;  (** unsorted bins, index [cur..nbuckets-1] *)
+  mutable t0 : Time.t;  (** window origin: bucket [i] covers
+                            [t0 + i*width, t0 + (i+1)*width) *)
+  mutable width : Time.t;  (** bucket span, >= 1 *)
+  mutable cur : int;  (** first bucket not yet drained into [front] *)
+  mutable front_end : Time.t;  (** exclusive upper bound of the [front] band *)
+  mutable horizon : Time.t;  (** exclusive upper bound of the bucket window *)
+  mutable far_max : Time.t;  (** largest at ever routed to [far]; sizes the
+                                 next window's width *)
+  mutable n : int;
+  mutable max_n : int;
+}
+
+let create ?dummy () =
+  {
+    front = Eheap.create ?dummy ();
+    far = Eheap.create ?dummy ();
+    buckets = Array.make nbuckets [];
+    t0 = 0;
+    width = 1;
+    cur = nbuckets;
+    (* Empty window: nothing is below [front_end] or [horizon], so the
+       first pushes all land in [far] and the first pop triggers a
+       rewindow sized from real data. *)
+    front_end = 0;
+    horizon = 0;
+    far_max = 0;
+    n = 0;
+    max_n = 0;
+  }
+
+let push t ~at ~seq v =
+  t.n <- t.n + 1;
+  if t.n > t.max_n then t.max_n <- t.n;
+  if at < t.front_end then Eheap.push t.front ~at ~seq v
+  else if at < t.horizon then begin
+    let idx = (at - t.t0) / t.width in
+    if idx >= nbuckets then begin
+      (* Only reachable when [horizon] was clamped at the int ceiling. *)
+      if at > t.far_max then t.far_max <- at;
+      Eheap.push t.far ~at ~seq v
+    end
+    else t.buckets.(idx) <- { at; seq; v } :: t.buckets.(idx)
+  end
+  else begin
+    if at > t.far_max then t.far_max <- at;
+    Eheap.push t.far ~at ~seq v
+  end
+
+(* Recenter the bucket window on the earliest far-future event and spread
+   it toward [far_max], then pull everything below the new horizon out of
+   [far] into the bins. Runs only when front and all buckets are empty. *)
+let rewindow t =
+  let t0 = Eheap.next_at t.far in
+  let spread = t.far_max - t0 in
+  let width = max 1 ((spread + nbuckets - 1) / nbuckets) in
+  t.t0 <- t0;
+  t.width <- width;
+  t.cur <- 0;
+  t.front_end <- t0;
+  t.horizon <-
+    (if width > (max_int - t0) / nbuckets then max_int
+     else t0 + (nbuckets * width));
+  (* [horizon] is exclusive, so an event at exactly [max_int] can never be
+     below it once the window is clamped at the int ceiling — admit it here
+     anyway (into the last bucket) or the window could never advance past
+     it and [ensure_front] would rewindow forever. *)
+  while
+    (not (Eheap.is_empty t.far))
+    &&
+    let at = Eheap.next_at t.far in
+    at < t.horizon || (at = max_int && t.horizon = max_int)
+  do
+    match Eheap.pop t.far with
+    | Some (at, seq, v) ->
+        let idx = min ((at - t.t0) / t.width) (nbuckets - 1) in
+        t.buckets.(idx) <- { at; seq; v } :: t.buckets.(idx)
+    | None -> assert false
+  done;
+  (* Fully drained: forget the old spread so the next window adapts to
+     whatever is pushed from here on instead of an old far-future outlier. *)
+  if Eheap.is_empty t.far then t.far_max <- t.t0
+
+(* Make [front] hold the globally earliest event (if any exist): advance
+   [cur] past empty bins, drain the first occupied bin into [front], and
+   when the window is exhausted rebuild it from [far]. *)
+let rec ensure_front t =
+  if Eheap.is_empty t.front then begin
+    let i = ref t.cur in
+    while !i < nbuckets && t.buckets.(!i) == [] do incr i done;
+    if !i < nbuckets then begin
+      let cells = t.buckets.(!i) in
+      t.buckets.(!i) <- [];
+      t.cur <- !i + 1;
+      t.front_end <-
+        (if t.cur = nbuckets then t.horizon else t.t0 + (t.cur * t.width));
+      List.iter
+        (fun { at; seq; v } -> Eheap.push t.front ~at ~seq v)
+        cells
+    end
+    else begin
+      t.cur <- nbuckets;
+      t.front_end <- t.horizon;
+      if not (Eheap.is_empty t.far) then begin
+        rewindow t;
+        ensure_front t
+      end
+    end
+  end
+
+let next_at t =
+  ensure_front t;
+  Eheap.next_at t.front
+
+let peek_time t =
+  ensure_front t;
+  Eheap.peek_time t.front
+
+let pop_exn t =
+  ensure_front t;
+  let v = Eheap.pop_exn t.front in
+  t.n <- t.n - 1;
+  v
+
+let pop t =
+  ensure_front t;
+  match Eheap.pop t.front with
+  | None -> None
+  | Some _ as s ->
+      t.n <- t.n - 1;
+      s
+
+let size t = t.n
+let length = size
+let max_length t = t.max_n
+let is_empty t = t.n = 0

@@ -54,38 +54,50 @@ let push t ~at ~seq v =
     i := p
   done
 
+(* Raw pop: removes the root and returns only its payload. The engine's
+   dispatch loop pairs this with [next_at], so the hot path allocates
+   nothing (no [Some], no tuple); [pop] below wraps it for callers that
+   want the key too. *)
+let pop_exn t =
+  if t.n = 0 then invalid_arg "Eheap.pop_exn: empty";
+  let root = t.a.(0) in
+  t.n <- t.n - 1;
+  (match t.dummy with
+  | Some d ->
+      let last = t.a.(t.n) in
+      t.a.(t.n) <- d;
+      if t.n > 0 then t.a.(0) <- last
+  | None -> if t.n > 0 then t.a.(0) <- t.a.(t.n));
+  if t.n > 0 then begin
+    (* sift down *)
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < t.n && before t.a.(l) t.a.(!smallest) then smallest := l;
+      if r < t.n && before t.a.(r) t.a.(!smallest) then smallest := r;
+      if !smallest = !i then continue := false
+      else begin
+        let tmp = t.a.(!smallest) in
+        t.a.(!smallest) <- t.a.(!i);
+        t.a.(!i) <- tmp;
+        i := !smallest
+      end
+    done
+  end;
+  root.v
+
 let pop t =
   if t.n = 0 then None
   else begin
     let root = t.a.(0) in
-    t.n <- t.n - 1;
-    (match t.dummy with
-    | Some d ->
-        let last = t.a.(t.n) in
-        t.a.(t.n) <- d;
-        if t.n > 0 then t.a.(0) <- last
-    | None -> if t.n > 0 then t.a.(0) <- t.a.(t.n));
-    if t.n > 0 then begin
-      (* sift down *)
-      let i = ref 0 in
-      let continue = ref true in
-      while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < t.n && before t.a.(l) t.a.(!smallest) then smallest := l;
-        if r < t.n && before t.a.(r) t.a.(!smallest) then smallest := r;
-        if !smallest = !i then continue := false
-        else begin
-          let tmp = t.a.(!smallest) in
-          t.a.(!smallest) <- t.a.(!i);
-          t.a.(!i) <- tmp;
-          i := !smallest
-        end
-      done
-    end;
-    Some (root.at, root.seq, root.v)
+    let at = root.at and seq = root.seq in
+    let v = pop_exn t in
+    Some (at, seq, v)
   end
 
+let next_at t = if t.n = 0 then -1 else t.a.(0).at
 let peek_time t = if t.n = 0 then None else Some t.a.(0).at
 let size t = t.n
 let length = size

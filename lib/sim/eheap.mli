@@ -18,6 +18,15 @@ val push : 'a t -> at:Time.t -> seq:int -> 'a -> unit
 val pop : 'a t -> (Time.t * int * 'a) option
 (** Remove and return the earliest event, or [None] when empty. *)
 
+val pop_exn : 'a t -> 'a
+(** Remove the earliest event and return only its payload. Raises
+    [Invalid_argument] when empty. Allocation-free: the dispatch hot path
+    pairs this with {!next_at} instead of paying [pop]'s option + tuple. *)
+
+val next_at : 'a t -> Time.t
+(** Timestamp of the earliest event, or [-1] when empty (timestamps are
+    non-negative). The allocation-free counterpart of {!peek_time}. *)
+
 val peek_time : 'a t -> Time.t option
 
 val size : 'a t -> int

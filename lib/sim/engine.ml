@@ -1,27 +1,39 @@
-(* Each queued event carries the label of the fiber it belongs to: the
-   [as_fiber] name plus an optional subsystem tag from the spawn site.
-   Labels cost one small record per scheduled event and never influence
-   ordering, so simulated behaviour is identical whether or not anyone
-   reads them — they exist for the profiling observer below. *)
-type event = { ev_name : string; ev_tag : string option; ev_run : unit -> unit }
+(* Each queued event carries an interned label: the id of its fiber's
+   ([as_fiber] name, subsystem tag) pair in this engine's label table.
+   Labels cost one int per scheduled event and never influence ordering, so
+   simulated behaviour is identical whether or not anyone reads them — they
+   exist for the profiling observer below. Interning happens once per
+   distinct (name, tag) at spawn time; the hot paths (every Sleep/Suspend
+   reschedule, every observer callback) only ever touch the int. *)
+
+type label = int
+
+type event = { ev_label : label; ev_run : unit -> unit }
 
 (** Host-side hooks invoked around event execution; see the .mli. *)
 type observer = {
   on_run_start : now:Time.t -> unit;
-  on_event : name:string -> tag:string option -> now:Time.t -> unit;
+  on_event : label:label -> now:Time.t -> unit;
   on_event_done : unit -> unit;
   on_run_stop : now:Time.t -> unit;
 }
 
 type t = {
   mutable now : Time.t;
-  queue : event Eheap.t;
+  queue : event Evq.t;
   mutable seq : int;
   seed : int;
   rng : Prng.t;
   mutable processed : int;
   mutable tracer : (Time.t -> string -> unit) option;
   mutable observer : observer option;
+  (* Label interner: ids are dense, per-engine, minted at spawn/schedule
+     time; the reverse arrays resolve them for error messages and
+     profiling reports. *)
+  labels : (string * string option, label) Hashtbl.t;
+  mutable label_names : string array;
+  mutable label_tags : string option array;
+  mutable nlabels : int;
   (* Scheduler introspection, maintained unconditionally (plain integer
      arithmetic in simulated-deterministic order, so it can never perturb a
      run): fiber park/resume totals, aggregate dead wait-queue entries and
@@ -40,20 +52,23 @@ type _ Effect.t +=
   | Sleep : t * Time.t -> unit Effect.t
   | Suspend : t * (('a -> unit) -> unit) -> 'a Effect.t
 
-let create ?(seed = 42) () =
+let create ?(seed = 42) ?(evq = Evq.Heap) () =
   {
     now = Time.zero;
-    (* The dummy lets the heap clear vacated slots: an executed event's
+    (* The dummy lets the queue clear vacated slots: an executed event's
        closure captures its continuation, which can pin the whole object
        graph the fiber touches (machine, cluster) long after it ran. *)
-    queue =
-      Eheap.create ~dummy:{ ev_name = ""; ev_tag = None; ev_run = ignore } ();
+    queue = Evq.create ~dummy:{ ev_label = 0; ev_run = ignore } evq;
     seq = 0;
     seed;
     rng = Prng.create ~seed;
     processed = 0;
     tracer = None;
     observer = None;
+    labels = Hashtbl.create 64;
+    label_names = [||];
+    label_tags = [||];
+    nlabels = 0;
     parks = 0;
     resumes = 0;
     waitq_dead = 0;
@@ -65,15 +80,41 @@ let create ?(seed = 42) () =
 let now t = t.now
 let rng t = t.rng
 let seed t = t.seed
+let evq_impl t = Evq.impl t.queue
 let events_processed t = t.processed
-let queue_length t = Eheap.length t.queue
-let queue_max_length t = Eheap.max_length t.queue
+let queue_length t = Evq.length t.queue
+let queue_max_length t = Evq.max_length t.queue
 let parks t = t.parks
 let resumes t = t.resumes
 let waitq_dead t = t.waitq_dead
 let waitq_dead_max t = t.waitq_dead_max
 let chan_queued t = t.chan_queued
 let chan_queued_max t = t.chan_queued_max
+
+let label t ?tag name =
+  let key = (name, tag) in
+  match Hashtbl.find_opt t.labels key with
+  | Some id -> id
+  | None ->
+      let id = t.nlabels in
+      if id = Array.length t.label_names then begin
+        let ncap = max 16 (2 * id) in
+        let names' = Array.make ncap "" in
+        Array.blit t.label_names 0 names' 0 id;
+        t.label_names <- names';
+        let tags' = Array.make ncap None in
+        Array.blit t.label_tags 0 tags' 0 id;
+        t.label_tags <- tags'
+      end;
+      t.label_names.(id) <- name;
+      t.label_tags.(id) <- tag;
+      t.nlabels <- id + 1;
+      Hashtbl.add t.labels key id;
+      id
+
+let label_name t id = t.label_names.(id)
+let label_tag t id = t.label_tags.(id)
+let label_count t = t.nlabels
 
 module Introspect = struct
   let waitq_dead_add t n =
@@ -86,34 +127,34 @@ module Introspect = struct
       t.chan_queued_max <- t.chan_queued
 end
 
-let push_event t ~after ~name ~tag run =
+let push_event t ~after ~label run =
   assert (after >= 0);
   let seq = t.seq in
   t.seq <- seq + 1;
-  Eheap.push t.queue
+  Evq.push t.queue
     ~at:(Time.add t.now after)
     ~seq
-    { ev_name = name; ev_tag = tag; ev_run = run }
+    { ev_label = label; ev_run = run }
 
 (* Wrap a thunk in the effect handler that turns Sleep/Suspend into engine
    events. The continuation keeps the handler, so a fiber only needs wrapping
    once, at its entry point; continuation events inherit the fiber's label,
    which is what lets the profiler attribute every host nanosecond of a
    fiber's life to its name, not just its first slice. *)
-let as_fiber ?tag name f =
+let as_fiber t lbl f =
   let open Effect.Deep in
   fun () ->
     match_with f ()
       {
         retc = (fun () -> ());
-        exnc = (fun e -> raise (Fiber_failure (name, e)));
+        exnc = (fun e -> raise (Fiber_failure (label_name t lbl, e)));
         effc =
           (fun (type a) (eff : a Effect.t) ->
             match eff with
             | Sleep (eng, dt) ->
                 Some
                   (fun (k : (a, _) continuation) ->
-                    push_event eng ~after:dt ~name ~tag (fun () ->
+                    push_event eng ~after:dt ~label:lbl (fun () ->
                         continue k ()))
             | Suspend (eng, register) ->
                 Some
@@ -124,17 +165,19 @@ let as_fiber ?tag name f =
                         if not !fired then begin
                           fired := true;
                           eng.resumes <- eng.resumes + 1;
-                          push_event eng ~after:0 ~name ~tag (fun () ->
+                          push_event eng ~after:0 ~label:lbl (fun () ->
                               continue k v)
                         end))
             | _ -> None);
       }
 
-let schedule t ?(name = "callback") ?tag ~after f =
-  push_event t ~after ~name ~tag (as_fiber ?tag name f)
+let schedule_label t lbl ~after f = push_event t ~after ~label:lbl (as_fiber t lbl f)
+let spawn_label t lbl f = push_event t ~after:0 ~label:lbl (as_fiber t lbl f)
 
-let spawn t ?(name = "fiber") ?tag f =
-  push_event t ~after:0 ~name ~tag (as_fiber ?tag name f)
+let schedule t ?(name = "callback") ?tag ~after f =
+  schedule_label t (label t ?tag name) ~after f
+
+let spawn t ?(name = "fiber") ?tag f = spawn_label t (label t ?tag name) f
 
 let set_observer t ob = t.observer <- ob
 
@@ -142,29 +185,39 @@ let run ?until t =
   (match t.observer with
   | None -> ()
   | Some ob -> ob.on_run_start ~now:t.now);
+  let limit = match until with Some l -> l | None -> max_int in
   let continue = ref true in
   while !continue do
-    match Eheap.peek_time t.queue with
-    | None -> continue := false
-    | Some at -> (
-        match until with
-        | Some limit when at > limit ->
-            t.now <- limit;
-            continue := false
-        | _ ->
-            let _, _, ev =
-              match Eheap.pop t.queue with
-              | Some e -> e
-              | None -> assert false
-            in
-            t.now <- at;
+    let at = Evq.next_at t.queue in
+    if at < 0 then continue := false
+    else if at > limit then begin
+      t.now <- limit;
+      continue := false
+    end
+    else begin
+      t.now <- at;
+      (* Drain the whole same-instant cohort in one dispatch iteration:
+         every queued event with this timestamp, including ones pushed by
+         the cohort itself (a resume at [now] lands here with a larger
+         seq, exactly where the one-event-per-iteration loop would run
+         it). Order is identical; the queue is consulted once per event
+         instead of twice (peek + pop), and nothing is allocated. *)
+      match t.observer with
+      | None ->
+          while Evq.next_at t.queue = at do
+            let ev = Evq.pop_exn t.queue in
             t.processed <- t.processed + 1;
-            (match t.observer with
-            | None -> ev.ev_run ()
-            | Some ob ->
-                ob.on_event ~name:ev.ev_name ~tag:ev.ev_tag ~now:at;
-                ev.ev_run ();
-                ob.on_event_done ()))
+            ev.ev_run ()
+          done
+      | Some ob ->
+          while Evq.next_at t.queue = at do
+            let ev = Evq.pop_exn t.queue in
+            t.processed <- t.processed + 1;
+            ob.on_event ~label:ev.ev_label ~now:at;
+            ev.ev_run ();
+            ob.on_event_done ()
+          done
+    end
   done;
   match t.observer with
   | None -> ()

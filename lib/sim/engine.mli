@@ -17,8 +17,10 @@ exception Fiber_failure of string * exn
 (** Raised out of {!run} when a fiber terminates with an uncaught exception.
     The string is the fiber's name. *)
 
-val create : ?seed:int -> unit -> t
-(** Fresh engine with clock at zero. [seed] (default 42) seeds {!rng}. *)
+val create : ?seed:int -> ?evq:Evq.impl -> unit -> t
+(** Fresh engine with clock at zero. [seed] (default 42) seeds {!rng}.
+    [evq] (default {!Evq.Heap}) selects the event-queue implementation;
+    any run is bit-identical under either choice. *)
 
 val now : t -> Time.t
 (** Current virtual time. *)
@@ -31,8 +33,31 @@ val seed : t -> int
     independent random stream (e.g. fault injection) derive one from this
     without advancing {!rng} — which would perturb the simulation. *)
 
+val evq_impl : t -> Evq.impl
+(** Which event-queue implementation this engine runs on. *)
+
 val events_processed : t -> int
 (** Total events executed so far; a cheap progress/complexity metric. *)
+
+(** {1 Interned labels}
+
+    Every event is labelled with the (name, subsystem tag) of the fiber it
+    belongs to, interned per engine into a dense int id. Hot paths — the
+    scheduler, the profiling observer — carry only the id; the strings are
+    resolved on demand. Ids are engine-local: never mix labels across
+    engines. *)
+
+type label = private int
+
+val label : t -> ?tag:string -> string -> label
+(** Intern (or look up) the id for [(name, tag)]. Call once and reuse the
+    result ({!spawn_label}) when spawning the same label repeatedly. *)
+
+val label_name : t -> label -> string
+val label_tag : t -> label -> string option
+
+val label_count : t -> int
+(** Number of distinct labels interned so far. Ids are [0..count-1]. *)
 
 (** {1 Scheduler introspection}
 
@@ -41,7 +66,7 @@ val events_processed : t -> int
     can never change a run. *)
 
 val queue_length : t -> int
-(** Events currently in the event heap. *)
+(** Events currently in the event queue. *)
 
 val queue_max_length : t -> int
 (** High-water mark of {!queue_length} over the engine's lifetime. *)
@@ -90,9 +115,20 @@ val spawn : t -> ?name:string -> ?tag:string -> (unit -> unit) -> unit
     profiling observer; [tag] is an optional subsystem tag (e.g. ["msg"],
     ["popcorn"]) that groups labels in profile reports. *)
 
+val spawn_label : t -> label -> (unit -> unit) -> unit
+(** {!spawn} with a pre-interned label: the hot-path form for sites that
+    start the same kind of fiber per message/request and must not rebuild
+    the name string or re-hash it each time. *)
+
+val schedule_label : t -> label -> after:Time.t -> (unit -> unit) -> unit
+(** {!schedule} with a pre-interned label. *)
+
 val run : ?until:Time.t -> t -> unit
 (** Execute events until the queue is empty, or until the clock would pass
-    [until]. Re-raises {!Fiber_failure} if any fiber died. *)
+    [until]. Events sharing an instant are drained as one cohort in a
+    single dispatch iteration, in exact scheduling ([seq]) order — the
+    interleaving is identical to one-event-per-iteration dispatch.
+    Re-raises {!Fiber_failure} if any fiber died. *)
 
 (** {1 Fiber operations}
 
@@ -121,11 +157,12 @@ val suspend : t -> (('a -> unit) -> unit) -> 'a
 (** {1 Profiling observer} *)
 
 (** Host-side hooks invoked by {!run} around each event execution. The
-    engine calls [on_event] (with the event's fiber name, subsystem tag and
-    the virtual time it fires at) immediately before running the event and
+    engine calls [on_event] (with the event's interned fiber label and the
+    virtual time it fires at) immediately before running the event and
     [on_event_done] immediately after; [on_run_start] / [on_run_stop]
     bracket each {!run} call so an observer can separate in-run scheduler
-    time from time the host spends outside the engine entirely.
+    time from time the host spends outside the engine entirely. Resolve
+    the label with {!label_name} / {!label_tag} (cheap array reads).
 
     The observer runs on the host clock only: it is invoked in a fixed,
     deterministic order, is given no way to schedule events or touch the
@@ -133,7 +170,7 @@ val suspend : t -> (('a -> unit) -> unit) -> 'a
     are bit-identical with or without one installed. *)
 type observer = {
   on_run_start : now:Time.t -> unit;
-  on_event : name:string -> tag:string option -> now:Time.t -> unit;
+  on_event : label:label -> now:Time.t -> unit;
   on_event_done : unit -> unit;
   on_run_stop : now:Time.t -> unit;
 }

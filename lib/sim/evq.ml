@@ -1,0 +1,58 @@
+(* Pluggable event queue: the engine's scheduling structure, selectable per
+   run. Both implementations share one contract — a priority queue totally
+   ordered by [(at, seq)] — so any run is bit-identical under either; the
+   cross-implementation equivalence test and CI gate enforce that. *)
+
+module type S = sig
+  type 'a t
+
+  val create : ?dummy:'a -> unit -> 'a t
+  val push : 'a t -> at:Time.t -> seq:int -> 'a -> unit
+  val pop : 'a t -> (Time.t * int * 'a) option
+  val pop_exn : 'a t -> 'a
+  val next_at : 'a t -> Time.t
+  val peek_time : 'a t -> Time.t option
+  val length : 'a t -> int
+  val max_length : 'a t -> int
+  val is_empty : 'a t -> bool
+end
+
+module Heap : S = Eheap
+module Calendar : S = Calq
+
+type impl = Heap | Calendar
+
+let all_impls = [ Heap; Calendar ]
+let impl_to_string = function Heap -> "heap" | Calendar -> "calendar"
+
+let impl_of_string s =
+  match String.lowercase_ascii s with
+  | "heap" | "binary" -> Some Heap
+  | "calendar" | "cal" | "ladder" -> Some Calendar
+  | _ -> None
+
+type 'a t = H of 'a Eheap.t | C of 'a Calq.t
+
+let create ?dummy impl =
+  match impl with
+  | Heap -> H (Eheap.create ?dummy ())
+  | Calendar -> C (Calq.create ?dummy ())
+
+let impl = function H _ -> Heap | C _ -> Calendar
+
+let push t ~at ~seq v =
+  match t with
+  | H h -> Eheap.push h ~at ~seq v
+  | C c -> Calq.push c ~at ~seq v
+
+let pop = function H h -> Eheap.pop h | C c -> Calq.pop c
+let pop_exn = function H h -> Eheap.pop_exn h | C c -> Calq.pop_exn c
+let next_at = function H h -> Eheap.next_at h | C c -> Calq.next_at c
+let peek_time = function H h -> Eheap.peek_time h | C c -> Calq.peek_time c
+let length = function H h -> Eheap.length h | C c -> Calq.length c
+
+let max_length = function
+  | H h -> Eheap.max_length h
+  | C c -> Calq.max_length c
+
+let is_empty = function H h -> Eheap.is_empty h | C c -> Calq.is_empty c

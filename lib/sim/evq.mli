@@ -1,0 +1,53 @@
+(** Pluggable event-queue for the engine's scheduling hot path.
+
+    One contract, two implementations: the classic binary heap ({!Eheap})
+    and a calendar queue ({!Calq}) with O(1) amortized push/pop inside the
+    active time window. Both order events totally by [(at, seq)], so a run
+    is bit-identical under either — enforced by the same-seed equivalence
+    test and a CI gate. Select per run via {!impl} (CLI [--evq]). *)
+
+module type S = sig
+  type 'a t
+
+  val create : ?dummy:'a -> unit -> 'a t
+  val push : 'a t -> at:Time.t -> seq:int -> 'a -> unit
+  val pop : 'a t -> (Time.t * int * 'a) option
+
+  val pop_exn : 'a t -> 'a
+  (** Payload-only pop; raises [Invalid_argument] when empty.
+      Allocation-free with {!next_at} on the dispatch hot path. *)
+
+  val next_at : 'a t -> Time.t
+  (** Earliest queued timestamp, [-1] when empty. *)
+
+  val peek_time : 'a t -> Time.t option
+  val length : 'a t -> int
+  val max_length : 'a t -> int
+  val is_empty : 'a t -> bool
+end
+
+module Heap : S
+module Calendar : S
+
+(** Run-time implementation choice, threaded from the CLI down to
+    {!Engine.create}. *)
+type impl = Heap | Calendar
+
+val all_impls : impl list
+val impl_to_string : impl -> string
+val impl_of_string : string -> impl option
+
+(** A queue packed with its implementation tag; dispatch is one branch per
+    operation. *)
+type 'a t
+
+val create : ?dummy:'a -> impl -> 'a t
+val impl : 'a t -> impl
+val push : 'a t -> at:Time.t -> seq:int -> 'a -> unit
+val pop : 'a t -> (Time.t * int * 'a) option
+val pop_exn : 'a t -> 'a
+val next_at : 'a t -> Time.t
+val peek_time : 'a t -> Time.t option
+val length : 'a t -> int
+val max_length : 'a t -> int
+val is_empty : 'a t -> bool

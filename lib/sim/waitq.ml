@@ -24,10 +24,27 @@ let note_dead t n =
   | None -> ()
   | Some eng -> Engine.Introspect.waitq_dead_add eng n
 
+(* Rebuild the queue keeping only live entries, in order. Entries never
+   consume a wake-up once inactive, so dropping them early is observable
+   only through [dead_count] and memory — never through wake order. *)
+let compact t =
+  if t.dead > 0 then begin
+    let keep = Queue.create () in
+    Queue.iter (fun e -> if e.active then Queue.push e keep) t.q;
+    Queue.clear t.q;
+    Queue.transfer keep t.q;
+    note_dead t (-t.dead)
+  end
+
 let cancel e =
   if e.active then begin
     e.active <- false;
-    note_dead e.owner 1
+    let t = e.owner in
+    note_dead t 1;
+    (* Compact lazily once dead entries dominate: without this, a storm of
+       timeouts on a rarely-woken queue accumulates dead slots without
+       bound (they are otherwise purged only when they reach the head). *)
+    if 2 * t.dead > Queue.length t.q then compact t
   end
 
 let is_active e = e.active
@@ -72,9 +89,10 @@ let take t =
       e.active <- false;
       Some e.resume
 
-let length t =
-  Queue.fold (fun acc e -> if e.active then acc + 1 else acc) 0 t.q
-
+(* Inactive entries stay queued only via [cancel] (wake/take remove before
+   deactivating), and [cancel]/purge maintain [dead] exactly — so the
+   active count is a subtraction, not a fold. *)
+let length t = Queue.length t.q - t.dead
 let is_empty t = length t = 0
 
 let wait eng t = Engine.suspend eng (fun resume -> ignore (push t resume))

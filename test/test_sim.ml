@@ -432,6 +432,38 @@ let test_waitq_dead_occupancy () =
       Alcotest.(check int) "high-water survives" 1 (Engine.waitq_dead_max eng));
   Engine.run eng
 
+let test_waitq_compaction () =
+  (* Dead entries must not accumulate: once they outnumber the live
+     waiters, cancel itself compacts the queue — dead_count drops without
+     any wake having drained past the corpses. *)
+  let eng = Engine.create () in
+  let q : unit Waitq.t = Waitq.create ~eng () in
+  let entries = ref [] in
+  for i = 1 to 3 do
+    Engine.spawn eng (fun () ->
+        Engine.suspend eng (fun resume ->
+            entries := (i, Waitq.push q (fun () -> resume ())) :: !entries))
+  done;
+  Engine.schedule eng ~after:10 (fun () ->
+      let cancel i = Waitq.cancel (List.assoc i !entries) in
+      cancel 1;
+      (* 1 dead of 3 slots: below the threshold, still lazily retained. *)
+      Alcotest.(check int) "one dead retained" 1 (Waitq.dead_count q);
+      cancel 3;
+      (* 2 dead of 3 slots trips 2*dead > slots: compacted on the spot. *)
+      Alcotest.(check int) "compaction ran" 0 (Waitq.dead_count q);
+      Alcotest.(check int) "engine aggregate dropped" 0
+        (Engine.waitq_dead eng);
+      Alcotest.(check int) "live waiter survives" 1 (Waitq.length q);
+      (* The surviving waiter is intact and wakeable. *)
+      Alcotest.(check bool) "wake survivor" true (Waitq.wake_one q ());
+      Alcotest.(check bool) "queue empty" true (Waitq.is_empty q));
+  Engine.run eng;
+  (* The second cancel counts before compaction reclaims both corpses,
+     so the high-water saw 2. *)
+  Alcotest.(check int) "dead high-water survives" 2
+    (Engine.waitq_dead_max eng)
+
 let test_chan_queued_gauge () =
   let eng = Engine.create () in
   let ch = Channel.create eng ~capacity:4 in
@@ -557,6 +589,8 @@ let () =
             test_park_resume_counters;
           Alcotest.test_case "waitq dead occupancy" `Quick
             test_waitq_dead_occupancy;
+          Alcotest.test_case "waitq compaction" `Quick
+            test_waitq_compaction;
           Alcotest.test_case "channel queued gauge" `Quick
             test_chan_queued_gauge;
         ] );
